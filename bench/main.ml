@@ -1,0 +1,244 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (the per-experiment index of DESIGN.md) and prints paper-vs-measured
+   rows plus the numeric series behind the figures.
+
+   Part 2 runs bechamel microbenchmarks over the simulator's hot paths so
+   performance regressions in the substrate are visible.
+
+   Pass --quick for shortened simulation runs. *)
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: paper tables and figures                                    *)
+(* ------------------------------------------------------------------ *)
+
+let figures () =
+  (* Figure 1: RTT trajectories. *)
+  List.iter
+    (fun (name, s) ->
+      let data =
+        Array.to_list
+          (Array.map2
+             (fun t v -> [ t; Sim.Units.to_ms v ])
+             (Sim.Series.times s) (Sim.Series.values s))
+      in
+      let every = max 1 (List.length data / 60) in
+      let data = List.filteri (fun i _ -> i mod every = 0) data in
+      Experiments.Report.print_series
+        ~title:(Printf.sprintf "Figure 1 (%s): time (s), RTT (ms)" name)
+        ~cols:[ "t"; "rtt_ms" ] data)
+    (Experiments.Exp_fig1.series ~quick ());
+  (* Figures 2-3: analytic rate-delay bands. *)
+  let rates = List.map Sim.Units.mbps [ 0.1; 0.3; 1.; 3.; 10.; 30.; 100. ] in
+  List.iter
+    (fun (name, pts) ->
+      Experiments.Report.print_series
+        ~title:(Printf.sprintf "Figure 3 (%s): rate (Mbit/s), delay band (ms)" name)
+        ~cols:[ "mbps"; "d_min_ms"; "d_max_ms" ]
+        (List.map
+           (fun (r, (b : Core.Rate_delay.band)) ->
+             [ Sim.Units.to_mbps r; Sim.Units.to_ms b.d_min; Sim.Units.to_ms b.d_max ])
+           pts))
+    (Experiments.Exp_fig3.analytic_series ~rm:0.1 ~rates);
+  (* Figure 7: cwnd traces. *)
+  List.iter
+    (fun (r : Experiments.Exp_fig7.result) ->
+      let dump tag s =
+        let data =
+          Array.to_list
+            (Array.map2
+               (fun t v -> [ t; v /. 1500. ])
+               (Sim.Series.times s) (Sim.Series.values s))
+        in
+        let every = max 1 (List.length data / 60) in
+        let data = List.filteri (fun i _ -> i mod every = 0) data in
+        Experiments.Report.print_series
+          ~title:(Printf.sprintf "Figure 7 (%s, %s): time (s), cwnd (pkts)" r.cca_name tag)
+          ~cols:[ "t"; "cwnd" ] data
+      in
+      dump "delack" r.cwnd_delack;
+      dump "normal" r.cwnd_normal)
+    (Experiments.Exp_fig7.series ~quick ());
+  (* Figures 4-6 from the Theorem 1 construction. *)
+  (match Experiments.Exp_theorem1.outcome ~quick () with
+  | Error e -> Printf.printf "theorem1 construction failed: %s\n" e
+  | Ok o ->
+      Experiments.Report.print_series ~title:"Figure 4: probe rate (Mbit/s), d_max (ms)"
+        ~cols:[ "mbps"; "d_max_ms" ]
+        (List.map
+           (fun (m : Core.Convergence.measurement) ->
+             [ Sim.Units.to_mbps m.rate; Sim.Units.to_ms m.d_max ])
+           o.Core.Theorem1.pair.Core.Pigeonhole.probes);
+      let trajectories =
+        [
+          ("C1 rtt", o.Core.Theorem1.pair.Core.Pigeonhole.m1.Core.Convergence.rtt);
+          ("C2 rtt", o.Core.Theorem1.pair.Core.Pigeonhole.m2.Core.Convergence.rtt);
+          ("d_star", o.Core.Theorem1.d_star);
+        ]
+      in
+      List.iter
+        (fun (name, s) ->
+          let data =
+            Array.to_list
+              (Array.map2
+                 (fun t v -> [ t; Sim.Units.to_ms v ])
+                 (Sim.Series.times s) (Sim.Series.values s))
+          in
+          let every = max 1 (List.length data / 40) in
+          let data = List.filteri (fun i _ -> i mod every = 0) data in
+          Experiments.Report.print_series
+            ~title:(Printf.sprintf "Figures 5-6 (%s): time (s), delay (ms)" name)
+            ~cols:[ "t"; "ms" ] data)
+        trajectories);
+  (* E10: the sec. 6.3 figure-of-merit table. *)
+  Experiments.Report.print_series
+    ~title:"E10: figure of merit (D ms, s, vegas mu+/mu-, exponential mu+/mu-)"
+    ~cols:[ "D_ms"; "s"; "vegas"; "exponential" ]
+    (List.map
+       (fun (r : Core.Ambiguity.merit_row) ->
+         [ Sim.Units.to_ms r.jitter; r.s; r.vegas; r.exponential ])
+       (Experiments.Exp_alg1.merit_rows ()))
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: bechamel microbenchmarks                                    *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let bench_heap () =
+  let h = Sim.Heap.create ~cmp:Int.compare () in
+  for i = 0 to 999 do
+    Sim.Heap.push h ((i * 7919) mod 1000)
+  done;
+  while not (Sim.Heap.is_empty h) do
+    ignore (Sim.Heap.pop h)
+  done
+
+let bench_event_queue () =
+  let eq = Sim.Event_queue.create () in
+  for i = 1 to 1000 do
+    Sim.Event_queue.schedule eq ~at:(float_of_int i) (fun () -> ())
+  done;
+  Sim.Event_queue.run eq
+
+let bench_series () =
+  let s = Sim.Series.create () in
+  for i = 0 to 999 do
+    Sim.Series.add s ~time:(float_of_int i) (float_of_int (i mod 17))
+  done;
+  ignore (Sim.Series.integral s ~t0:0. ~t1:999.)
+
+let synthetic_ack now : Cca.ack_info =
+  {
+    Cca.now;
+    rtt = 0.05 +. (0.001 *. Float.rem now 0.01);
+    acked_bytes = 1500;
+    sent_time = now -. 0.05;
+    delivered = int_of_float (now *. 1e6);
+    delivered_now = int_of_float (now *. 1e6) + 1500;
+    inflight = 30_000;
+    app_limited = false;
+    ecn_ce = false;
+  }
+
+let bench_cca make =
+  let cca = make () in
+  let now = ref 0. in
+  fun () ->
+    for _ = 1 to 100 do
+      now := !now +. 0.001;
+      cca.Cca.on_ack (synthetic_ack !now)
+    done
+
+let bench_drr_link () =
+  let eq = Sim.Event_queue.create () in
+  let link =
+    Sim.Link.create ~eq ~rate:(Sim.Link.Constant 1.5e6)
+      ~discipline:(Sim.Link.Drr { quantum = 1500 }) ~record_queue:false ()
+  in
+  Sim.Link.set_on_dequeue link (fun _ -> ());
+  for i = 0 to 499 do
+    ignore
+      (Sim.Link.enqueue link
+         {
+           Sim.Packet.flow = i mod 4;
+           seq = i;
+           size = 1500;
+           sent_at = 0.;
+           delivered_at_send = 0;
+           app_limited = false;
+           ce = false;
+         })
+  done;
+  Sim.Event_queue.run eq
+
+let bench_opportunity_lookup () =
+  let trace =
+    Sim.Link.Opportunities
+      { times = Array.init 1000 (fun i -> float_of_int i /. 1000.); period = 1.;
+        bytes = 1500 }
+  in
+  let t = ref 0. in
+  for _ = 1 to 1000 do
+    t := Sim.Link.transmit_end trace ~start:!t ~bytes:1500
+  done
+
+let bench_small_sim () =
+  let rate = Sim.Units.mbps 12. in
+  let cfg =
+    Sim.Network.config ~rate:(Sim.Link.Constant rate)
+      ~buffer:(Sim.Units.bdp_bytes ~rate ~rtt:0.04) ~rm:0.04 ~duration:1.
+      [ Sim.Network.flow (Reno.make ()) ]
+  in
+  ignore (Sim.Network.run_config cfg)
+
+let microbenches () =
+  let tests =
+    [
+      Test.make ~name:"heap push/pop 1k" (Staged.stage bench_heap);
+      Test.make ~name:"event queue 1k events" (Staged.stage bench_event_queue);
+      Test.make ~name:"series add+integral 1k" (Staged.stage bench_series);
+      Test.make ~name:"vegas 100 acks" (Staged.stage (bench_cca (fun () -> Vegas.make ())));
+      Test.make ~name:"copa 100 acks" (Staged.stage (bench_cca (fun () -> Copa.make ())));
+      Test.make ~name:"bbr 100 acks" (Staged.stage (bench_cca (fun () -> Bbr.make ())));
+      Test.make ~name:"cubic 100 acks" (Staged.stage (bench_cca (fun () -> Cubic.make ())));
+      Test.make ~name:"reno 1s simulated" (Staged.stage bench_small_sim);
+      Test.make ~name:"drr link 500 pkts" (Staged.stage bench_drr_link);
+      Test.make ~name:"opportunity lookup 1k" (Staged.stage bench_opportunity_lookup);
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"substrate" tests in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\n== Substrate microbenchmarks (monotonic clock) ==\n";
+  Printf.printf "%-36s %14s\n" "benchmark" "time/run";
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, v) ->
+         match Analyze.OLS.estimates v with
+         | Some (ns :: _) ->
+             let pretty =
+               if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+               else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+               else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+               else Printf.sprintf "%.1f ns" ns
+             in
+             Printf.printf "%-36s %14s\n" name pretty
+         | _ -> Printf.printf "%-36s %14s\n" name "n/a")
+
+let () =
+  Printf.printf "Reproduction harness%s\n" (if quick then " (quick mode)" else "");
+  let rows = Experiments.Registry.run_all ~quick () in
+  let good = List.length (List.filter (fun r -> r.Experiments.Report.ok) rows) in
+  Printf.printf "\n%d/%d checks hold the paper's shape\n" good (List.length rows);
+  figures ();
+  microbenches ();
+  if good < List.length rows then exit 2

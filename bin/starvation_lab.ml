@@ -1,0 +1,532 @@
+(* starvation_lab: CLI front end for the reproduction.
+
+   Subcommands:
+     list                      show available experiments
+     run <key> [--quick]      run one experiment and print its table
+     all [--quick]            run every experiment
+     figures [--quick]        dump the numeric series behind the figures
+     duel --cca <name> ...    ad-hoc two-flow duel on a configurable link *)
+
+open Cmdliner
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use shortened runs (coarser numbers).")
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-10s %s\n" e.Experiments.Registry.key
+          e.Experiments.Registry.title)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments")
+    Term.(const run $ const ())
+
+(* ---------------- run ---------------- *)
+
+let run_cmd =
+  let key =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
+  in
+  let run key quick =
+    match Experiments.Registry.find key with
+    | None ->
+        Printf.eprintf "unknown experiment %S; try `starvation_lab list`\n" key;
+        exit 1
+    | Some e ->
+        let rows = e.Experiments.Registry.run ~quick in
+        Experiments.Report.print_rows ~title:e.Experiments.Registry.title rows;
+        if not (Experiments.Report.all_ok rows) then exit 2
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one experiment")
+    Term.(const run $ key $ quick_arg)
+
+(* ---------------- all ---------------- *)
+
+let all_cmd =
+  let run quick =
+    let rows = Experiments.Registry.run_all ~quick () in
+    let bad = List.filter (fun r -> not r.Experiments.Report.ok) rows in
+    Printf.printf "\n%d/%d checks hold the paper's shape\n"
+      (List.length rows - List.length bad)
+      (List.length rows);
+    if bad <> [] then exit 2
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment")
+    Term.(const run $ quick_arg)
+
+(* ---------------- report ---------------- *)
+
+let report_cmd =
+  let out =
+    Arg.(value & opt string "EXPERIMENTS.generated.md"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Output markdown file.")
+  in
+  let run out quick =
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc
+          "# Generated experiment report\n\nProduced by `starvation_lab report`;            every row is paper-vs-measured.\n\n";
+        List.iter
+          (fun e ->
+            Printf.printf "running %s...\n%!" e.Experiments.Registry.key;
+            let rows = e.Experiments.Registry.run ~quick in
+            output_string oc
+              (Experiments.Report.to_markdown ~title:e.Experiments.Registry.title rows);
+            output_string oc "\n")
+          Experiments.Registry.all);
+    Printf.printf "wrote %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Run every experiment and write a markdown report")
+    Term.(const run $ out $ quick_arg)
+
+(* ---------------- figures ---------------- *)
+
+let figures_cmd =
+  let run quick =
+    let series_points s =
+      Array.to_list
+        (Array.map2
+           (fun t v -> (t, Sim.Units.to_ms v))
+           (Sim.Series.times s) (Sim.Series.values s))
+    in
+    (* Figure 1 charts *)
+    List.iter
+      (fun (name, s) ->
+        print_string
+          (Experiments.Ascii_plot.render
+             ~title:(Printf.sprintf "Figure 1 (%s): RTT (ms) vs time (s)" name)
+             [ (name, series_points s) ]))
+      (Experiments.Exp_fig1.series ~quick ());
+    (* Figure 3 charts: d_max curves on a log-rate axis *)
+    let rates =
+      List.map Sim.Units.mbps [ 0.1; 0.2; 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100. ]
+    in
+    let fig3 =
+      List.map
+        (fun (name, pts) ->
+          ( name,
+            List.map
+              (fun (r, (b : Core.Rate_delay.band)) ->
+                (Float.log10 (Sim.Units.to_mbps r), Sim.Units.to_ms b.d_max))
+              pts ))
+        (Experiments.Exp_fig3.analytic_series ~rm:0.1 ~rates)
+    in
+    print_string
+      (Experiments.Ascii_plot.render
+         ~title:"Figure 3: d_max (ms) vs log10 rate (Mbit/s), Rm = 100 ms" fig3);
+    (* E14 phase diagram *)
+    let phase =
+      List.map
+        (fun (p : Experiments.Exp_threshold.point) ->
+          (p.jitter_over_delta, Float.min p.ratio 50.))
+        (Experiments.Exp_threshold.sweep ~quick ())
+    in
+    print_string
+      (Experiments.Ascii_plot.render
+         ~title:
+           "E14: throughput ratio (capped at 50) vs D / delta_max (copa, theorem 1             boundary at 2)"
+         [ ("copa", phase) ]);
+    (* Figure 1 series *)
+    List.iter
+      (fun (name, s) ->
+        let data =
+          Array.to_list
+            (Array.map2
+               (fun t v -> [ t; Sim.Units.to_ms v ])
+               (Sim.Series.times s) (Sim.Series.values s))
+        in
+        let every = max 1 (List.length data / 200) in
+        let data = List.filteri (fun i _ -> i mod every = 0) data in
+        Experiments.Report.print_series
+          ~title:(Printf.sprintf "Figure 1 (%s): time (s) vs RTT (ms)" name)
+          ~cols:[ "t"; "rtt_ms" ] data)
+      (Experiments.Exp_fig1.series ~quick ());
+    (* Figure 3 series *)
+    let rates =
+      List.map Sim.Units.mbps [ 0.1; 0.2; 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100. ]
+    in
+    List.iter
+      (fun (name, pts) ->
+        Experiments.Report.print_series
+          ~title:(Printf.sprintf "Figure 3 (%s): rate (Mbit/s) vs delay band (ms)" name)
+          ~cols:[ "mbps"; "d_min_ms"; "d_max_ms" ]
+          (List.map
+             (fun (r, (b : Core.Rate_delay.band)) ->
+               [ Sim.Units.to_mbps r; Sim.Units.to_ms b.d_min; Sim.Units.to_ms b.d_max ])
+             pts))
+      (Experiments.Exp_fig3.analytic_series ~rm:0.1 ~rates);
+    (* Figure 7 cwnd traces *)
+    List.iter
+      (fun (r : Experiments.Exp_fig7.result) ->
+        let dump tag s =
+          let data =
+            Array.to_list
+              (Array.map2
+                 (fun t v -> [ t; v /. 1500. ])
+                 (Sim.Series.times s) (Sim.Series.values s))
+          in
+          let every = max 1 (List.length data / 300) in
+          let data = List.filteri (fun i _ -> i mod every = 0) data in
+          Experiments.Report.print_series
+            ~title:
+              (Printf.sprintf "Figure 7 (%s, %s): time (s) vs cwnd (packets)" r.cca_name
+                 tag)
+            ~cols:[ "t"; "cwnd_pkts" ] data
+        in
+        dump "delayed-ack" r.cwnd_delack;
+        dump "per-packet-ack" r.cwnd_normal)
+      (Experiments.Exp_fig7.series ~quick ());
+    (* Figures 4-6 come from the Theorem 1 outcome *)
+    match Experiments.Exp_theorem1.outcome ~quick () with
+    | Error e -> Printf.printf "theorem1 failed: %s\n" e
+    | Ok o ->
+        Experiments.Report.print_series
+          ~title:"Figure 4: probe rates vs d_max (ms)"
+          ~cols:[ "mbps"; "d_max_ms" ]
+          (List.map
+             (fun (m : Core.Convergence.measurement) ->
+               [ Sim.Units.to_mbps m.rate; Sim.Units.to_ms m.d_max ])
+             o.Core.Theorem1.pair.Core.Pigeonhole.probes);
+        let ds = o.Core.Theorem1.d_star in
+        let data =
+          Array.to_list
+            (Array.map2
+               (fun t v -> [ t; Sim.Units.to_ms v ])
+               (Sim.Series.times ds) (Sim.Series.values ds))
+        in
+        let every = max 1 (List.length data / 200) in
+        let data = List.filteri (fun i _ -> i mod every = 0) data in
+        Experiments.Report.print_series
+          ~title:"Figure 6: shared-queue delay d*(t) (Eq. 5)" ~cols:[ "t"; "d_star_ms" ]
+          data
+  in
+  Cmd.v (Cmd.info "figures" ~doc:"Dump the numeric series behind the paper's figures")
+    Term.(const run $ quick_arg)
+
+(* ---------------- convergence ---------------- *)
+
+let cca_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "vegas" -> Ok ("vegas", fun () -> Vegas.make ())
+    | "fast" -> Ok ("fast", fun () -> Fast_tcp.make ())
+    | "copa" -> Ok ("copa", fun () -> Copa.make ())
+    | "bbr" -> Ok ("bbr", fun () -> Bbr.make ())
+    | "vivace" -> Ok ("vivace", fun () -> Pcc_vivace.make ())
+    | "allegro" -> Ok ("allegro", fun () -> Pcc_allegro.make ())
+    | "reno" -> Ok ("reno", fun () -> Reno.make ())
+    | "cubic" -> Ok ("cubic", fun () -> Cubic.make ())
+    | "alg1" -> Ok ("alg1", fun () -> Alg1.make ())
+    | "ledbat" -> Ok ("ledbat", fun () -> Ledbat.make ())
+    | "ecn-reno" -> Ok ("ecn-reno", fun () -> Ecn_reno.make ())
+    | other -> Error (`Msg (Printf.sprintf "unknown CCA %S" other))
+  in
+  Arg.conv (parse, fun ppf (name, _) -> Format.pp_print_string ppf name)
+
+let convergence_cmd =
+  let cca =
+    Arg.(
+      value
+      & opt cca_conv ("copa", fun () -> Copa.make ())
+      & info [ "cca" ] ~docv:"CCA"
+          ~doc:"vegas|fast|copa|bbr|vivace|allegro|reno|cubic|alg1|ledbat|ecn-reno")
+  in
+  let rates =
+    Arg.(
+      value
+      & opt (list float) [ 1.; 4.; 16.; 64. ]
+      & info [ "rates" ] ~docv:"MBPS,..." ~doc:"Link rates to probe, Mbit/s.")
+  in
+  let rm_ms =
+    Arg.(value & opt float 40. & info [ "rtt" ] ~docv:"MS" ~doc:"Propagation RTT, ms.")
+  in
+  let duration =
+    Arg.(value & opt float 30. & info [ "duration" ] ~docv:"SECONDS" ~doc:"Per-rate run.")
+  in
+  let run (name, make_cca) rates rm_ms duration =
+    let rm = Sim.Units.ms rm_ms in
+    Printf.printf
+      "Delay-convergence of %s (Definition 1), Rm = %.0f ms:
+%-12s %-10s %-8s %-22s %-10s %s
+"
+      name rm_ms "rate" "converged" "T (s)" "band (ms)" "delta(ms)" "efficiency";
+    List.iter
+      (fun mbps ->
+        let m =
+          Core.Convergence.measure ~make_cca ~rate:(Sim.Units.mbps mbps) ~rm
+            ~duration ()
+        in
+        Printf.printf "%-12s %-10b %-8.1f [%8.3f, %8.3f]  %-10.3f %.3f
+"
+          (Printf.sprintf "%g Mbit/s" mbps)
+          m.Core.Convergence.converged m.Core.Convergence.t_converge
+          (Sim.Units.to_ms m.Core.Convergence.d_min)
+          (Sim.Units.to_ms m.Core.Convergence.d_max)
+          (Sim.Units.to_ms m.Core.Convergence.delta)
+          m.Core.Convergence.efficiency)
+      rates
+  in
+  Cmd.v
+    (Cmd.info "convergence"
+       ~doc:"Measure a CCA's delay-convergence (Definition 1) over a rate sweep")
+    Term.(const run $ cca $ rates $ rm_ms $ duration)
+
+(* ---------------- theorem1 ---------------- *)
+
+let theorem1_cmd =
+  let cca =
+    Arg.(
+      value
+      & opt cca_conv ("fast", fun () -> Fast_tcp.make ())
+      & info [ "cca" ] ~docv:"CCA" ~doc:"CCA to starve (fast and ledbat are tuned).")
+  in
+  let s_arg =
+    Arg.(value & opt float 4. & info [ "s" ] ~docv:"S" ~doc:"Target throughput ratio.")
+  in
+  let f_arg =
+    Arg.(value & opt float 0.8 & info [ "f" ] ~docv:"F" ~doc:"Assumed efficiency.")
+  in
+  let rtt_ms =
+    Arg.(value & opt float 20. & info [ "rtt" ] ~docv:"MS" ~doc:"Propagation RTT, ms.")
+  in
+  let lambda0 =
+    Arg.(value & opt float 2. & info [ "lambda0" ] ~docv:"MBPS"
+           ~doc:"First pigeonhole probe rate, Mbit/s.")
+  in
+  let eps_ms =
+    Arg.(value & opt float 2. & info [ "epsilon" ] ~docv:"MS"
+           ~doc:"Pigeonhole bucket size, ms.")
+  in
+  let run (name, make_cca) s f rtt_ms lambda0 eps_ms =
+    Printf.printf "Running the Theorem 1 construction on %s (s=%.1f, f=%.1f)...
+%!"
+      name s f;
+    match
+      Core.Theorem1.run ~make_cca ~rm:(Sim.Units.ms rtt_ms) ~s ~f
+        ~lambda0:(Sim.Units.mbps lambda0)
+        ~epsilon:(Sim.Units.ms eps_ms) ()
+    with
+    | Error e ->
+        Printf.eprintf "construction failed: %s
+" e;
+        exit 2
+    | Ok o ->
+        Format.printf "%a@." Core.Theorem1.pp_outcome o;
+        if not o.Core.Theorem1.starved then exit 2
+  in
+  Cmd.v
+    (Cmd.info "theorem1" ~doc:"Run the Theorem 1 starvation construction end to end")
+    Term.(const run $ cca $ s_arg $ f_arg $ rtt_ms $ lambda0 $ eps_ms)
+
+(* ---------------- model ---------------- *)
+
+let model_cmd =
+  let model_conv =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "vegas" -> Ok `Vegas
+      | "aimd" -> Ok `Aimd
+      | other -> Error (`Msg (Printf.sprintf "unknown model %S (vegas|aimd)" other))
+    in
+    Arg.conv
+      (parse, fun ppf m -> Format.pp_print_string ppf (match m with `Vegas -> "vegas" | `Aimd -> "aimd"))
+  in
+  let which =
+    Arg.(value & opt model_conv `Vegas
+         & info [ "model" ] ~docv:"MODEL" ~doc:"vegas|aimd")
+  in
+  let jitter_ms =
+    Arg.(value & opt float 50. & info [ "jitter" ] ~docv:"MS" ~doc:"The model's D, ms.")
+  in
+  let horizon =
+    Arg.(value & opt int 40 & info [ "horizon" ] ~docv:"STEPS" ~doc:"Trace length, Rm steps.")
+  in
+  let run which jitter_ms horizon =
+    let rm = 0.05 and mss = 1500. in
+    let link_rate = Sim.Units.mbps 8. in
+    let big_d = Sim.Units.ms jitter_ms in
+    let report name u util =
+      Printf.printf
+        "%s, D = %.0f ms, %d steps:\n  worst unfairness  %.2f\n  worst utilization %.2f\n"
+        name jitter_ms horizon u util
+    in
+    match which with
+    | `Vegas ->
+        let cca = Ccac.Model.vegas_model ~rm ~mss ~alpha:3. in
+        let u, _ = Ccac.Model.max_unfairness ~cca ~link_rate ~rm ~big_d ~horizon () in
+        let util = Ccac.Model.min_utilization ~cca ~link_rate ~rm ~big_d ~horizon () in
+        report "vegas (delay-convergent)" u util
+    | `Aimd ->
+        let cca = Ccac.Model.aimd_model ~rm ~mss in
+        let buffer = link_rate *. rm in
+        let u, _ =
+          Ccac.Model.max_unfairness ~cca ~link_rate ~rm ~big_d ~buffer ~horizon ()
+        in
+        let util =
+          Ccac.Model.min_utilization ~cca ~link_rate ~rm ~big_d ~buffer ~horizon ()
+        in
+        report "aimd (loss-based, delay-blind)" u util
+  in
+  Cmd.v
+    (Cmd.info "model"
+       ~doc:"Bounded adversarial search in the Appendix C discretized model")
+    Term.(const run $ which $ jitter_ms $ horizon)
+
+(* ---------------- trace ---------------- *)
+
+let trace_cmd =
+  let cca =
+    Arg.(
+      value
+      & opt cca_conv ("bbr", fun () -> Bbr.make ())
+      & info [ "cca" ] ~docv:"CCA"
+          ~doc:"vegas|fast|copa|bbr|vivace|allegro|reno|cubic|alg1|ledbat|ecn-reno")
+  in
+  let mbps_f =
+    Arg.(value & opt float 24. & info [ "rate" ] ~docv:"MBPS" ~doc:"Link rate, Mbit/s.")
+  in
+  let rm_ms =
+    Arg.(value & opt float 40. & info [ "rtt" ] ~docv:"MS" ~doc:"Propagation RTT, ms.")
+  in
+  let duration =
+    Arg.(value & opt float 20. & info [ "duration" ] ~docv:"SECONDS" ~doc:"Run length.")
+  in
+  let run (name, make_cca) mbps rm_ms duration =
+    let rate = Sim.Units.mbps mbps in
+    let rm = Sim.Units.ms rm_ms in
+    let net =
+      Sim.Network.run_config
+        (Sim.Network.config ~rate:(Sim.Link.Constant rate) ~rm ~duration
+           [ Sim.Network.flow ~inspect_period:(duration /. 200.) (make_cca ()) ])
+    in
+    let f = (Sim.Network.flows net).(0) in
+    let to_pts ?(scale = fun v -> v) s =
+      Array.to_list
+        (Array.map2
+           (fun t v -> (t, scale v))
+           (Sim.Series.times s) (Sim.Series.values s))
+    in
+    print_string
+      (Experiments.Ascii_plot.render
+         ~title:(Printf.sprintf "%s on %.0f Mbit/s, Rm = %.0f ms: RTT (ms)" name mbps rm_ms)
+         [ ("rtt", to_pts ~scale:Sim.Units.to_ms (Sim.Flow.rtt_series f)) ]);
+    print_string
+      (Experiments.Ascii_plot.render ~title:"cwnd (packets)"
+         [ ("cwnd", to_pts ~scale:(fun v -> v /. 1500.) (Sim.Flow.cwnd_series f)) ]);
+    print_string
+      (Experiments.Ascii_plot.render ~title:"delivery rate (Mbit/s)"
+         [ ("rate", to_pts ~scale:Sim.Units.to_mbps (Sim.Flow.rate_series f ~window:(4. *. rm))) ]);
+    (* CCA internals, skipping constants (flat series carry no information). *)
+    List.iter
+      (fun (k, s) ->
+        match Sim.Series.min_max_in s ~t0:0. ~t1:duration with
+        | Some (lo, hi) when hi -. lo > 1e-9 && Sim.Series.length s > 2 ->
+            print_string
+              (Experiments.Ascii_plot.render
+                 ~title:(Printf.sprintf "internal: %s" k)
+                 [ (k, to_pts s) ])
+        | _ -> ())
+      (Sim.Flow.inspect_series f);
+    Printf.printf "throughput: %s, utilization %.2f
+"
+      (Experiments.Report.mbps (Sim.Network.throughputs net ()).(0))
+      (Sim.Network.utilization net ())
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one flow and chart its RTT, cwnd, rate and CCA internals")
+    Term.(const run $ cca $ mbps_f $ rm_ms $ duration)
+
+(* ---------------- export ---------------- *)
+
+let export_cmd =
+  let dir =
+    Arg.(value & opt string "figures" & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Directory for the CSV files.")
+  in
+  let run dir quick =
+    let paths = Experiments.Export.figures ~dir ~quick in
+    List.iter (Printf.printf "wrote %s\n") paths
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Write the figure series as CSV files")
+    Term.(const run $ dir $ quick_arg)
+
+(* ---------------- duel ---------------- *)
+
+let duel_cmd =
+  let cca =
+    Arg.(
+      value
+      & opt cca_conv ("copa", fun () -> Copa.make ())
+      & info [ "cca" ] ~docv:"CCA"
+          ~doc:"vegas|fast|copa|bbr|vivace|allegro|reno|cubic|alg1|ledbat|ecn-reno")
+  in
+  let mbps_f =
+    Arg.(value & opt float 24. & info [ "rate" ] ~docv:"MBPS" ~doc:"Link rate, Mbit/s.")
+  in
+  let rm_ms =
+    Arg.(value & opt float 40. & info [ "rtt" ] ~docv:"MS" ~doc:"Propagation RTT, ms.")
+  in
+  let jitter_ms =
+    Arg.(
+      value & opt float 0.
+      & info [ "jitter" ] ~docv:"MS"
+          ~doc:"Uniform non-congestive delay bound on flow 1's ACK path, ms.")
+  in
+  let duration =
+    Arg.(value & opt float 30. & info [ "duration" ] ~docv:"SECONDS" ~doc:"Run length.")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None
+         & info [ "trace-file" ] ~docv:"PATH"
+             ~doc:"Mahimahi mm-link trace for the bottleneck (overrides --rate).")
+  in
+  let run (_, make_cca) mbps rm_ms jitter_ms duration trace_file =
+    let rate =
+      match trace_file with
+      | Some path -> Sim.Link.load_mahimahi_trace path
+      | None -> Sim.Link.Constant (Sim.Units.mbps mbps)
+    in
+    let rm = Sim.Units.ms rm_ms in
+    let d = Sim.Units.ms jitter_ms in
+    let flow1 =
+      if jitter_ms > 0. then
+        Sim.Network.flow ~jitter:(Sim.Jitter.Uniform { lo = 0.; hi = d })
+          ~jitter_bound:d (make_cca ())
+      else Sim.Network.flow (make_cca ())
+    in
+    (* A 4-BDP drop-tail buffer: unbounded queues make loss-based CCAs
+       spiral into RTO races instead of their normal sawtooth. *)
+    let buffer = 4 * Sim.Units.bdp_bytes ~rate:(Sim.Link.rate_at rate 0.) ~rtt:rm in
+    let net =
+      Sim.Network.run_config
+        (Sim.Network.config ~rate ~buffer ~rm ~duration
+           [ flow1; Sim.Network.flow (make_cca ()) ])
+    in
+    let report = Core.Fairness.of_network net () in
+    Array.iteri
+      (fun i x -> Printf.printf "flow %d: %s\n" i (Experiments.Report.mbps x))
+      report.Core.Fairness.throughputs;
+    Printf.printf "ratio %.2f, jain %.3f, utilization %.2f\n"
+      report.Core.Fairness.ratio report.Core.Fairness.jain
+      report.Core.Fairness.utilization
+  in
+  Cmd.v
+    (Cmd.info "duel" ~doc:"Ad-hoc two-flow duel with optional jitter on flow 1")
+    Term.(const run $ cca $ mbps_f $ rm_ms $ jitter_ms $ duration $ trace_file)
+
+let () =
+  let doc = "Reproduction lab for 'Starvation in End-to-End Congestion Control'" in
+  let info = Cmd.info "starvation_lab" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; all_cmd; report_cmd; figures_cmd; export_cmd;
+            convergence_cmd; trace_cmd; model_cmd; theorem1_cmd; duel_cmd ]))

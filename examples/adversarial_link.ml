@@ -1,0 +1,34 @@
+(* Adversarial delay emulation: Theorem 2 as an executable demo.
+
+   Record how Vegas behaves alone on a 4 Mbit/s link, then replay exactly
+   that delay trajectory — using only a bounded non-congestive delay
+   element — on links 10x, 100x and 1000x faster.  The deterministic CCA
+   cannot tell the difference and keeps sending at ~4 Mbit/s, so the fast
+   links sit idle: efficient delay-convergent CCAs must keep more queueing
+   delay than the network's jitter bound (paper, Theorem 2 / sec. 6.1).
+
+   Run with: dune exec examples/adversarial_link.exe *)
+
+let () =
+  let outcome =
+    Core.Theorem2.run
+      ~make_cca:(fun () -> Vegas.make ())
+      ~rate:(Sim.Units.mbps 4.) ~rm:0.04
+      ~multipliers:[ 10.; 100.; 1000. ]
+      ~duration:30. ()
+  in
+  let base = outcome.Core.Theorem2.base in
+  Printf.printf "reference run:  C = %s, converged band [%.1f, %.1f] ms\n"
+    (Experiments.Report.mbps base.Core.Convergence.rate)
+    (Sim.Units.to_ms base.Core.Convergence.d_min)
+    (Sim.Units.to_ms base.Core.Convergence.d_max);
+  Printf.printf "jitter budget D = %.2f ms\n\n" (Sim.Units.to_ms outcome.Core.Theorem2.big_d);
+  Printf.printf "%-14s %-14s %-12s %s\n" "link rate" "throughput" "utilization"
+    "jitter-bound violations";
+  List.iter
+    (fun (p : Core.Theorem2.point) ->
+      Printf.printf "%-14s %-14s %-12.4f %d\n"
+        (Experiments.Report.mbps p.fast_rate)
+        (Experiments.Report.mbps p.throughput)
+        p.utilization p.jitter_violations)
+    outcome.Core.Theorem2.points

@@ -1,0 +1,77 @@
+(* Bring your own CCA: implement the Cca.t interface from scratch and put
+   the new algorithm through the paper's analysis pipeline.
+
+   The toy CCA below is "AIAD-on-delay": add a packet per RTT while the
+   measured queueing delay is under a target, subtract one when over.  It
+   is delay-convergent — so Theorem 1 applies to it, and the convergence
+   measurement below exhibits the bounded band the theorem needs.
+
+   Run with: dune exec examples/custom_cca.exe *)
+
+let make_aiad ?(target_ms = 5.) () =
+  let mss = float_of_int Cca.default_mss in
+  let cwnd = ref (4. *. mss) in
+  let base_rtt = ref infinity in
+  let epoch = ref 0. in
+  let on_ack (a : Cca.ack_info) =
+    if a.rtt < !base_rtt then base_rtt := a.rtt;
+    if a.now -. !epoch >= a.rtt then begin
+      epoch := a.now;
+      let queueing = a.rtt -. !base_rtt in
+      if queueing < target_ms /. 1000. then cwnd := !cwnd +. mss
+      else cwnd := Float.max (!cwnd -. mss) (2. *. mss)
+    end
+  in
+  {
+    Cca.name = "aiad-on-delay";
+    on_ack;
+    on_loss =
+      (fun (l : Cca.loss_info) ->
+        if l.kind = `Timeout then cwnd := 2. *. mss);
+    on_send = (fun _ -> ());
+    on_timer = (fun _ -> ());
+    next_timer = (fun () -> None);
+    cwnd = (fun () -> !cwnd);
+    pacing_rate = (fun () -> None);
+    inspect = (fun () -> [ ("cwnd", !cwnd); ("base_rtt", !base_rtt) ]);
+  }
+
+let () =
+  (* 1. Is it delay-convergent?  Measure the band on a few rates. *)
+  let rates = List.map Sim.Units.mbps [ 4.; 16.; 64. ] in
+  List.iter
+    (fun rate ->
+      let m =
+        Core.Convergence.measure ~make_cca:(fun () -> make_aiad ()) ~rate ~rm:0.04
+          ~duration:20. ()
+      in
+      Printf.printf
+        "C=%5.1f Mbit/s: converged=%b T=%4.1fs band=[%.2f, %.2f] ms delta=%.2f ms \
+         efficiency=%.2f\n"
+        (Sim.Units.to_mbps rate) m.Core.Convergence.converged
+        m.Core.Convergence.t_converge
+        (Sim.Units.to_ms m.Core.Convergence.d_min)
+        (Sim.Units.to_ms m.Core.Convergence.d_max)
+        (Sim.Units.to_ms m.Core.Convergence.delta)
+        m.Core.Convergence.efficiency)
+    rates;
+  (* 2. So the paper predicts starvation once jitter exceeds 2*delta.
+        Check with a 2-flow duel where flow 1's path jitters by 12 ms. *)
+  let d = 0.012 in
+  let net =
+    Sim.Network.run_config
+      (Sim.Network.config ~rate:(Sim.Link.Constant (Sim.Units.mbps 32.)) ~rm:0.04
+         ~duration:40.
+         [
+           Sim.Network.flow
+             ~jitter:(Sim.Jitter.Trace (fun t -> if t < 1. then 0. else d))
+             ~jitter_bound:d
+             (make_aiad ());
+           Sim.Network.flow (make_aiad ());
+         ])
+  in
+  let x1 = Sim.Network.throughput net ~flow:0 ~t0:20. ~t1:40. in
+  let x2 = Sim.Network.throughput net ~flow:1 ~t0:20. ~t1:40. in
+  Printf.printf "with %.0f ms jitter on flow 1: %5.2f vs %5.2f Mbit/s (ratio %.1f)\n"
+    (Sim.Units.to_ms d) (Sim.Units.to_mbps x1) (Sim.Units.to_mbps x2)
+    (x2 /. Float.max x1 1.)

@@ -1,0 +1,55 @@
+(* Definition 2, drawn.
+
+   The paper defines s-fairness as an *eventual* property: there must be a
+   finite time after which the faster flow's cumulative throughput stays
+   under s times the slower one's.  This example plots that ratio
+   trajectory for two scenarios:
+
+   - two identical Reno flows: the ratio dives toward 1 and stays there —
+     the network is s-fair for small s;
+   - two Copa flows with a poisoned min-RTT on one path (the sec. 5.1
+     jitter pattern): the ratio settles well above s and never comes back
+     down — the network is not s-fair for this s, however long it runs.
+
+   Run with: dune exec examples/fairness_trajectory.exe *)
+
+let points net =
+  let traj = Core.Fairness.ratio_trajectory net ~dt:0.5 in
+  Array.to_list
+    (Array.map2
+       (fun t v -> (t, Float.min v 20.))
+       (Sim.Series.times traj) (Sim.Series.values traj))
+
+let () =
+  let rate = Sim.Units.mbps 24. in
+  let duration = 40. in
+  let reno_net =
+    Sim.Network.run_config
+      (Sim.Network.config ~rate:(Sim.Link.Constant rate)
+         ~buffer:(Sim.Units.bdp_bytes ~rate ~rtt:0.04)
+         ~rm:0.04 ~duration
+         [ Sim.Network.flow (Reno.make ()); Sim.Network.flow (Reno.make ()) ])
+  in
+  let poison t = if t < 0.05 then 0. else 0.005 in
+  let copa_net =
+    Sim.Network.run_config
+      (Sim.Network.config ~rate:(Sim.Link.Constant rate) ~rm:0.04 ~duration
+         [
+           Sim.Network.flow ~jitter:(Sim.Jitter.Trace poison) ~jitter_bound:0.005
+             (Copa.make ());
+           Sim.Network.flow (Copa.make ());
+         ])
+  in
+  print_string
+    (Experiments.Ascii_plot.render
+       ~title:
+         "Definition 2: cumulative throughput ratio over time (capped at 20)"
+       ~x_label:"time (s)"
+       [ ("reno/reno (converges)", points reno_net);
+         ("copa w/ poisoned minRTT (stays unfair)", points copa_net) ]);
+  (match Core.Fairness.s_fair_from reno_net ~dt:0.5 ~s:2. with
+  | Some t -> Printf.printf "reno/reno is 2-fair from t = %.1f s\n" t
+  | None -> print_endline "reno/reno never became 2-fair");
+  match Core.Fairness.s_fair_from copa_net ~dt:0.5 ~s:2. with
+  | Some t -> Printf.printf "poisoned copa claims 2-fairness from t = %.1f s (!)\n" t
+  | None -> print_endline "poisoned copa never becomes 2-fair: starvation"

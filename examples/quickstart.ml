@@ -1,0 +1,42 @@
+(* Quickstart: simulate two Copa flows sharing a bottleneck, give one of
+   them a jittery ACK path, and measure what happens to fairness.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let rate = Sim.Units.mbps 24. in
+  let rm = Sim.Units.ms 40. in
+
+  (* A network is a list of flow specs plus a bottleneck description.  The
+     second flow's ACK path carries up to 5 ms of non-congestive delay —
+     the paper's section-3 delay element. *)
+  let config =
+    Sim.Network.config
+      ~rate:(Sim.Link.Constant rate)
+      ~rm ~duration:30.
+      [
+        Sim.Network.flow (Copa.make ());
+        Sim.Network.flow
+          ~jitter:(Sim.Jitter.Uniform { lo = 0.; hi = 0.005 })
+          ~jitter_bound:0.005 (Copa.make ());
+      ]
+  in
+  let net = Sim.Network.run_config config in
+
+  (* Per-flow throughput over the post-warmup window, plus fairness. *)
+  let report = Core.Fairness.of_network net () in
+  Array.iteri
+    (fun i x ->
+      Printf.printf "flow %d throughput: %6.2f Mbit/s\n" i (Sim.Units.to_mbps x))
+    report.Core.Fairness.throughputs;
+  Printf.printf "throughput ratio: %.2f   jain index: %.3f   utilization: %.2f\n"
+    report.Core.Fairness.ratio report.Core.Fairness.jain
+    report.Core.Fairness.utilization;
+
+  (* Every flow records an RTT trace you can inspect. *)
+  let rtt = Sim.Flow.rtt_series (Sim.Network.flows net).(0) in
+  match Sim.Series.min_max_in rtt ~t0:10. ~t1:30. with
+  | Some (lo, hi) ->
+      Printf.printf "flow 0 converged RTT band: [%.2f, %.2f] ms\n"
+        (Sim.Units.to_ms lo) (Sim.Units.to_ms hi)
+  | None -> print_endline "no RTT samples"

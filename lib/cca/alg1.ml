@@ -1,0 +1,70 @@
+type params = {
+  rm : float;
+  rmax : float;
+  d_jitter : float;
+  s : float;
+  mu_minus : float;
+  a : float;
+  b : float;
+  init_rate : float;
+  mss : int;
+}
+
+let default_params =
+  {
+    rm = 0.05;
+    rmax = 0.1;
+    d_jitter = 0.01;
+    s = 2.;
+    mu_minus = 12500.; (* 100 kbit/s *)
+    a = 12500.;
+    b = 0.9;
+    init_rate = 125000.;
+    mss = Cca.default_mss;
+  }
+
+let target_rate p ~d =
+  p.mu_minus *. (p.s ** ((p.rmax -. (d -. p.rm)) /. p.d_jitter))
+
+let mu_plus p = target_rate p ~d:(p.rm +. p.d_jitter)
+
+let rate_range p = p.s ** ((p.rmax -. p.d_jitter) /. p.d_jitter)
+
+type state = {
+  p : params;
+  mutable rate : float;
+  mutable last_rtt : float;
+  mutable next_update : float;
+}
+
+let make ?(params = default_params) () =
+  let s =
+    { p = params; rate = params.init_rate; last_rtt = params.rm; next_update = 0. }
+  in
+  let on_timer now =
+    let threshold = target_rate s.p ~d:s.last_rtt in
+    if s.rate < threshold then s.rate <- s.rate +. s.p.a
+    else s.rate <- s.p.b *. s.rate;
+    s.rate <- Float.max s.rate s.p.mu_minus;
+    s.next_update <- now +. s.p.rm
+  in
+  let on_ack (a : Cca.ack_info) = s.last_rtt <- a.rtt in
+  {
+    Cca.name = "alg1";
+    on_ack;
+    on_loss = (fun _ -> ());
+    on_send = (fun _ -> ());
+    on_timer;
+    next_timer = (fun () -> Some s.next_update);
+    (* Cap in-flight data at twice the worst-case BDP so a sudden capacity
+       drop cannot build an unbounded queue. *)
+    cwnd = (fun () -> 2. *. s.rate *. (s.p.rm +. s.p.rmax));
+    pacing_rate = (fun () -> Some s.rate);
+    inspect =
+      (fun () ->
+        [
+          ("rate", s.rate);
+          ("last_rtt", s.last_rtt);
+          ("target", target_rate s.p ~d:s.last_rtt);
+        ]);
+  }

@@ -1,0 +1,54 @@
+type ack_info = {
+  now : float;
+  rtt : float;
+  acked_bytes : int;
+  sent_time : float;
+  delivered : int;
+  delivered_now : int;
+  inflight : int;
+  app_limited : bool;
+  ecn_ce : bool;
+}
+
+type loss_info = {
+  now : float;
+  lost_bytes : int;
+  lost_packets : (float * int) list;
+  inflight : int;
+  kind : [ `Dupack | `Timeout ];
+}
+
+type send_info = { now : float; sent_bytes : int; inflight : int }
+
+type t = {
+  name : string;
+  on_ack : ack_info -> unit;
+  on_loss : loss_info -> unit;
+  on_send : send_info -> unit;
+  on_timer : float -> unit;
+  next_timer : unit -> float option;
+  cwnd : unit -> float;
+  pacing_rate : unit -> float option;
+  inspect : unit -> (string * float) list;
+}
+
+let default_mss = 1500
+
+let make_stub ?(name = "const-cwnd") ~cwnd_bytes () =
+  {
+    name;
+    on_ack = (fun _ -> ());
+    on_loss = (fun _ -> ());
+    on_send = (fun _ -> ());
+    on_timer = (fun _ -> ());
+    next_timer = (fun () -> None);
+    cwnd = (fun () -> cwnd_bytes);
+    pacing_rate = (fun () -> None);
+    inspect = (fun () -> [ ("cwnd", cwnd_bytes) ]);
+  }
+
+let bandwidth_sample (a : ack_info) =
+  let interval = a.now -. a.sent_time in
+  let bytes = a.delivered_now - a.delivered in
+  if interval <= 0. || bytes <= 0 then 0.
+  else float_of_int bytes /. interval

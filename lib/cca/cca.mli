@@ -1,0 +1,71 @@
+(** Common interface for congestion control algorithms.
+
+    A CCA is a state machine driven by acknowledgment, loss and send events.
+    It exposes its control decisions through a congestion window (bytes) and
+    an optional pacing rate (bytes/s).  All times are absolute simulation
+    times in seconds; all sizes are bytes.
+
+    Instances own private mutable state (captured in the closures of {!t}),
+    which lets an instance converge on one network and then keep running,
+    state intact, on another — the operation at the heart of the paper's
+    Theorem 1 construction. *)
+
+(** Information delivered to the CCA for every acknowledged packet. *)
+type ack_info = {
+  now : float;  (** time the ACK reached the sender *)
+  rtt : float;  (** RTT sampled by this packet, seconds *)
+  acked_bytes : int;  (** bytes newly acknowledged by this ACK *)
+  sent_time : float;  (** when the acked packet was sent *)
+  delivered : int;
+      (** cumulative bytes delivered (receiver side) when the acked packet
+          was sent — used with [delivered_now] for rate samples, as in
+          BBR's delivery-rate estimator *)
+  delivered_now : int;  (** cumulative bytes delivered including this packet *)
+  inflight : int;  (** bytes in flight after processing this ACK *)
+  app_limited : bool;  (** sender was application-limited for this sample *)
+  ecn_ce : bool;  (** the acked packet carried a congestion-experienced mark *)
+}
+
+(** Information delivered on a loss event. *)
+type loss_info = {
+  now : float;
+  lost_bytes : int;
+  lost_packets : (float * int) list;
+      (** (send time, bytes) of each lost packet — lets monitor-interval
+          CCAs (PCC) attribute losses to the interval that sent them *)
+  inflight : int;  (** bytes in flight after removing the lost bytes *)
+  kind : [ `Dupack | `Timeout ];
+}
+
+(** Information delivered when a packet is sent. *)
+type send_info = { now : float; sent_bytes : int; inflight : int }
+
+(** A congestion control algorithm instance. *)
+type t = {
+  name : string;
+  on_ack : ack_info -> unit;
+  on_loss : loss_info -> unit;
+  on_send : send_info -> unit;
+  on_timer : float -> unit;  (** called at (or after) the requested time *)
+  next_timer : unit -> float option;
+      (** absolute time at which the CCA wants [on_timer] called; [None] if
+          no timer is pending.  Re-read after every event. *)
+  cwnd : unit -> float;  (** congestion window, bytes; [infinity] = unlimited *)
+  pacing_rate : unit -> float option;
+      (** bytes/s; [None] means no pacing (send whenever window allows) *)
+  inspect : unit -> (string * float) list;
+      (** named internals for tracing and tests *)
+}
+
+val default_mss : int
+(** Default segment size, 1500 bytes, used by all CCAs in this library. *)
+
+val make_stub : ?name:string -> cwnd_bytes:float -> unit -> t
+(** A trivial CCA with a fixed window and no pacing — the paper's example of
+    a "silly" algorithm that avoids starvation but is not f-efficient. *)
+
+val bandwidth_sample : ack_info -> float
+(** Delivery-rate sample implied by an ACK: bytes delivered between the
+    acked packet's send and its acknowledgment, divided by the elapsed
+    interval measured on the sender clock.  Returns [0.] for degenerate
+    intervals. *)

@@ -1,0 +1,4 @@
+let make ?(cwnd_packets = 10.) ?(mss = Cca.default_mss) () =
+  Cca.make_stub ~name:"const-cwnd"
+    ~cwnd_bytes:(cwnd_packets *. float_of_int mss)
+    ()

@@ -1,0 +1,9 @@
+(** The paper's "silly" CCA: a fixed congestion window, forever (§4.2).
+
+    It trivially avoids starvation (both flows hold identical windows) but
+    is not f-efficient for any f on links faster than
+    [cwnd / Rm] — the degenerate corner the f-efficiency definition
+    exists to exclude. *)
+
+val make : ?cwnd_packets:float -> ?mss:int -> unit -> Cca.t
+(** Default: 10 packets of 1500 bytes. *)

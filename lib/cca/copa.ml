@@ -1,0 +1,144 @@
+type params = {
+  delta : float;
+  min_rtt_window : float;
+  init_cwnd_packets : float;
+  mss : int;
+}
+
+let default_params =
+  {
+    delta = 0.5;
+    min_rtt_window = 100.;
+    init_cwnd_packets = 4.;
+    mss = Cca.default_mss;
+  }
+
+type direction = Up | Down | Unset
+
+type state = {
+  p : params;
+  mutable cwnd : float; (* bytes *)
+  min_rtt : Window.Extremum.t;
+  standing : Window.Extremum.t;
+  mutable srtt : float;
+  mutable velocity : float;
+  mutable direction : direction;
+  mutable same_direction_rtts : int;
+  mutable epoch_start : float;
+  mutable cwnd_at_epoch : float;
+  mutable slow_start : bool;
+}
+
+let mss_f s = float_of_int s.p.mss
+
+let queue_delay s =
+  match (Window.Extremum.get s.standing, Window.Extremum.get s.min_rtt) with
+  | Some st, Some mn -> Float.max 0. (st -. mn)
+  | _ -> 0.
+
+let target_rate_pps s =
+  let dq = queue_delay s in
+  if dq <= 0. then infinity else 1. /. (s.p.delta *. dq)
+
+let current_rate_pps s =
+  match Window.Extremum.get s.standing with
+  | Some st when st > 0. -> s.cwnd /. mss_f s /. st
+  | _ -> 0.
+
+let make ?(params = default_params) () =
+  let s =
+    {
+      p = params;
+      cwnd = params.init_cwnd_packets *. float_of_int params.mss;
+      min_rtt = Window.Extremum.create_min ~window:params.min_rtt_window;
+      standing = Window.Extremum.create_min ~window:0.05;
+      srtt = 0.;
+      velocity = 1.;
+      direction = Unset;
+      same_direction_rtts = 0;
+      epoch_start = 0.;
+      cwnd_at_epoch = 0.;
+      slow_start = true;
+    }
+  in
+  let per_rtt_velocity_update () =
+    let dir = if s.cwnd > s.cwnd_at_epoch then Up else Down in
+    (match (s.direction, dir) with
+    | Up, Up | Down, Down ->
+        s.same_direction_rtts <- s.same_direction_rtts + 1;
+        if s.same_direction_rtts >= 3 then s.velocity <- Float.min (s.velocity *. 2.) 1e6
+    | _ ->
+        s.direction <- dir;
+        s.same_direction_rtts <- 0;
+        s.velocity <- 1.);
+    s.direction <- dir;
+    s.cwnd_at_epoch <- s.cwnd
+  in
+  let on_ack (a : Cca.ack_info) =
+    let mss = mss_f s in
+    Window.Extremum.push s.min_rtt ~time:a.now a.rtt;
+    s.srtt <- (if s.srtt = 0. then a.rtt else (0.875 *. s.srtt) +. (0.125 *. a.rtt));
+    Window.Extremum.set_window s.standing (Float.max (s.srtt /. 2.) 1e-4);
+    Window.Extremum.push s.standing ~time:a.now a.rtt;
+    let target = target_rate_pps s in
+    let current = current_rate_pps s in
+    if s.slow_start then begin
+      if current < target then
+        (* Double per RTT: +1 packet per acked packet. *)
+        s.cwnd <- s.cwnd +. float_of_int a.acked_bytes
+      else s.slow_start <- false
+    end;
+    if not s.slow_start then begin
+      let cwnd_pkts = Float.max (s.cwnd /. mss) 1. in
+      let step = s.velocity *. mss /. (s.p.delta *. cwnd_pkts) in
+      if current <= target then s.cwnd <- s.cwnd +. step
+      else s.cwnd <- s.cwnd -. step;
+      s.cwnd <- Float.max s.cwnd (2. *. mss)
+    end;
+    if a.now -. s.epoch_start >= s.srtt && s.srtt > 0. then begin
+      s.epoch_start <- a.now;
+      per_rtt_velocity_update ()
+    end
+  in
+  let on_loss (l : Cca.loss_info) =
+    match l.kind with
+    | `Timeout -> s.cwnd <- 2. *. mss_f s
+    | `Dupack ->
+        (* Copa's default mode halves the window on loss. *)
+        s.cwnd <- Float.max (s.cwnd /. 2.) (2. *. mss_f s)
+  in
+  let pacing_rate () =
+    match Window.Extremum.get s.standing with
+    | Some st when st > 0. -> Some (2. *. s.cwnd /. st)
+    | _ -> None
+  in
+  {
+    Cca.name = "copa";
+    on_ack;
+    on_loss;
+    on_send = (fun _ -> ());
+    on_timer = (fun _ -> ());
+    next_timer = (fun () -> None);
+    cwnd = (fun () -> s.cwnd);
+    pacing_rate;
+    inspect =
+      (fun () ->
+        [
+          ("cwnd", s.cwnd);
+          ("min_rtt", Window.Extremum.get_default s.min_rtt nan);
+          ("standing_rtt", Window.Extremum.get_default s.standing nan);
+          ("queue_delay", queue_delay s);
+          ("velocity", s.velocity);
+          ("target_pps", target_rate_pps s);
+        ]);
+  }
+
+let equilibrium_queue_delay p ~rate = float_of_int p.mss /. (p.delta *. rate)
+
+let delay_band p ~rate ~rm =
+  let dq = equilibrium_queue_delay p ~rate in
+  (* Empirically Copa's velocity mechanism makes the queue oscillate over
+     roughly 4 packets around the 1/delta-packet target (paper §2.2:
+     "4 alpha / C for Copa"). *)
+  let alpha = float_of_int p.mss /. rate in
+  (rm +. Float.max 0. (dq -. (2. *. alpha)), rm +. dq +. (2. *. alpha))

@@ -1,0 +1,103 @@
+type result = {
+  label : int;
+  rate : float;
+  duration : float;
+  sent_bytes : int;
+  acked_bytes : int;
+  lost_bytes : int;
+  rtt_samples : (float * float) list;
+}
+
+let throughput r =
+  if r.duration <= 0. then 0. else float_of_int r.acked_bytes /. r.duration
+
+let loss_fraction r =
+  if r.sent_bytes = 0 then 0.
+  else float_of_int r.lost_bytes /. float_of_int r.sent_bytes
+
+let rtt_slope r =
+  let n = List.length r.rtt_samples in
+  if n < 2 then 0.
+  else begin
+    let nf = float_of_int n in
+    let st = ref 0. and sv = ref 0. and stt = ref 0. and stv = ref 0. in
+    List.iter
+      (fun (t, v) ->
+        st := !st +. t;
+        sv := !sv +. v;
+        stt := !stt +. (t *. t);
+        stv := !stv +. (t *. v))
+      r.rtt_samples;
+    let denom = (nf *. !stt) -. (!st *. !st) in
+    if Float.abs denom < 1e-12 then 0. else ((nf *. !stv) -. (!st *. !sv)) /. denom
+  end
+
+type mi = {
+  label : int;
+  rate : float;
+  t0 : float;
+  mutable t1 : float; (* send-window end; infinity while open *)
+  mutable sent : int;
+  mutable acked : int;
+  mutable lost : int;
+  mutable rtts : (float * float) list; (* newest first *)
+}
+
+type t = { mutable mis : mi list (* oldest first *) }
+
+let create () = { mis = [] }
+
+let begin_mi t ~now ~rate ~label =
+  (match List.rev t.mis with
+  | last :: _ when last.t1 = infinity -> last.t1 <- now
+  | _ -> ());
+  t.mis <-
+    t.mis
+    @ [ { label; rate; t0 = now; t1 = infinity; sent = 0; acked = 0; lost = 0; rtts = [] } ]
+
+let current t =
+  let rec last = function [] -> None | [ m ] -> Some m | _ :: rest -> last rest in
+  match last t.mis with Some m when m.t1 = infinity -> Some m | _ -> None
+
+let current_rate t = Option.map (fun m -> m.rate) (current t)
+
+let on_send t ~bytes =
+  match current t with Some m -> m.sent <- m.sent + bytes | None -> ()
+
+let owner t sent_time =
+  List.find_opt (fun m -> sent_time >= m.t0 && sent_time < m.t1) t.mis
+
+let on_ack t ~sent_time ~now ~bytes ~rtt =
+  match owner t sent_time with
+  | Some m ->
+      m.acked <- m.acked + bytes;
+      m.rtts <- (now, rtt) :: m.rtts
+  | None -> ()
+
+let on_loss t ~lost_packets =
+  List.iter
+    (fun (sent_time, bytes) ->
+      match owner t sent_time with
+      | Some m -> m.lost <- m.lost + bytes
+      | None -> ())
+    lost_packets
+
+let complete m ~now ~grace =
+  m.t1 < infinity
+  && (m.acked + m.lost >= m.sent || now >= m.t1 +. grace)
+
+let poll t ~now ~grace =
+  let done_, open_ = List.partition (fun m -> complete m ~now ~grace) t.mis in
+  t.mis <- open_;
+  done_
+  |> List.filter (fun m -> m.label >= 0)
+  |> List.map (fun m ->
+         {
+           label = m.label;
+           rate = m.rate;
+           duration = m.t1 -. m.t0;
+           sent_bytes = m.sent;
+           acked_bytes = m.acked;
+           lost_bytes = m.lost;
+           rtt_samples = List.rev m.rtts;
+         })

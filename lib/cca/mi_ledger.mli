@@ -1,0 +1,53 @@
+(** Monitor-interval accounting for PCC-style CCAs.
+
+    PCC evaluates candidate rates over monitor intervals (MIs).  Getting
+    this right requires attributing every ACK and loss to the MI in which
+    the packet was *sent*, and computing an MI's utility only once its
+    feedback is complete — otherwise losses caused by a high-rate MI land
+    in the following interval and systematically reward rate increases
+    (a runaway this code base reproduced before gaining this module).
+
+    The ledger tracks open MIs, attributes samples by send time, and
+    releases results when an MI's send window has closed and either all its
+    packets are accounted for or a grace period has elapsed. *)
+
+type result = {
+  label : int;  (** caller's tag from {!begin_mi} *)
+  rate : float;  (** commanded rate during the MI, bytes/s *)
+  duration : float;  (** send-window length, seconds *)
+  sent_bytes : int;
+  acked_bytes : int;
+  lost_bytes : int;
+  rtt_samples : (float * float) list;  (** (ack time, rtt), oldest first *)
+}
+
+val throughput : result -> float
+(** Acked bytes over the send-window duration, bytes/s. *)
+
+val loss_fraction : result -> float
+(** Lost bytes over sent bytes; 0 when nothing was sent. *)
+
+val rtt_slope : result -> float
+(** Least-squares slope of RTT over ack time within the MI, s/s;
+    0 with fewer than two samples. *)
+
+type t
+
+val create : unit -> t
+
+val begin_mi : t -> now:float -> rate:float -> label:int -> unit
+(** Open a new MI; the previous MI's send window closes at [now].
+    Use a negative [label] for unevaluated filler intervals: they are
+    tracked (so attribution works) but never returned by {!poll}. *)
+
+val current_rate : t -> float option
+(** Rate of the MI currently open for sending. *)
+
+val on_send : t -> bytes:int -> unit
+val on_ack : t -> sent_time:float -> now:float -> bytes:int -> rtt:float -> unit
+val on_loss : t -> lost_packets:(float * int) list -> unit
+
+val poll : t -> now:float -> grace:float -> result list
+(** Completed evaluated MIs, oldest first.  An MI completes when its send
+    window has closed and either every sent byte is acked or lost, or
+    [now >= window end + grace]. *)

@@ -1,0 +1,17 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int ((seed * 2654435761) lor 1) }
+
+let next t =
+  (* splitmix64 step *)
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.
+
+let bool t = float t < 0.5

@@ -1,0 +1,12 @@
+(** Minimal deterministic PRNG for CCAs that randomize probe ordering
+    (PCC's randomized controlled trials, BBR's probe phase).  Kept inside
+    [lib/cca] so the CCA library stays dependency-free; the simulator has
+    its own richer generator. *)
+
+type t
+
+val create : seed:int -> t
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool

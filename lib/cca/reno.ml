@@ -1,0 +1,57 @@
+type params = {
+  init_cwnd_packets : float;
+  initial_ssthresh : float;
+  mss : int;
+}
+
+let default_params =
+  { init_cwnd_packets = 4.; initial_ssthresh = infinity; mss = Cca.default_mss }
+
+type state = {
+  p : params;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable recovery_until : float;
+  mutable last_rtt : float;
+}
+
+let make ?(params = default_params) () =
+  let mss = float_of_int params.mss in
+  let s =
+    {
+      p = params;
+      cwnd = params.init_cwnd_packets *. mss;
+      ssthresh = params.initial_ssthresh;
+      recovery_until = neg_infinity;
+      last_rtt = 0.;
+    }
+  in
+  let on_ack (a : Cca.ack_info) =
+    s.last_rtt <- a.rtt;
+    let acked = float_of_int a.acked_bytes in
+    if s.cwnd < s.ssthresh then s.cwnd <- s.cwnd +. acked
+    else s.cwnd <- s.cwnd +. (mss *. acked /. s.cwnd)
+  in
+  let on_loss (l : Cca.loss_info) =
+    if l.now >= s.recovery_until then begin
+      s.recovery_until <- l.now +. Float.max s.last_rtt 0.01;
+      match l.kind with
+      | `Dupack ->
+          s.ssthresh <- Float.max (s.cwnd /. 2.) (2. *. mss);
+          s.cwnd <- s.ssthresh
+      | `Timeout ->
+          s.ssthresh <- Float.max (s.cwnd /. 2.) (2. *. mss);
+          s.cwnd <- mss
+    end
+  in
+  {
+    Cca.name = "reno";
+    on_ack;
+    on_loss;
+    on_send = (fun _ -> ());
+    on_timer = (fun _ -> ());
+    next_timer = (fun () -> None);
+    cwnd = (fun () -> s.cwnd);
+    pacing_rate = (fun () -> None);
+    inspect = (fun () -> [ ("cwnd", s.cwnd); ("ssthresh", s.ssthresh) ]);
+  }

@@ -1,0 +1,89 @@
+type params = {
+  alpha : float;
+  beta : float;
+  gamma : float;
+  init_cwnd_packets : float;
+  mss : int;
+}
+
+let default_params =
+  { alpha = 2.; beta = 4.; gamma = 1.; init_cwnd_packets = 4.; mss = Cca.default_mss }
+
+type state = {
+  p : params;
+  mutable cwnd : float; (* bytes *)
+  mutable base_rtt : float;
+  mutable last_rtt : float;
+  mutable epoch_start : float; (* time the current once-per-RTT epoch began *)
+  mutable slow_start : bool;
+  mutable ss_parity : bool; (* Vegas doubles every other RTT in slow start *)
+}
+
+let queued_packets s =
+  if s.last_rtt <= 0. || s.base_rtt = infinity then 0.
+  else
+    s.cwnd /. float_of_int s.p.mss *. ((s.last_rtt -. s.base_rtt) /. s.last_rtt)
+
+let per_rtt_update s =
+  let mss = float_of_int s.p.mss in
+  let diff = queued_packets s in
+  if s.slow_start then begin
+    if diff > s.p.gamma then s.slow_start <- false
+    else begin
+      s.ss_parity <- not s.ss_parity;
+      if s.ss_parity then s.cwnd <- s.cwnd *. 2.
+    end
+  end;
+  if not s.slow_start then begin
+    if diff < s.p.alpha then s.cwnd <- s.cwnd +. mss
+    else if diff > s.p.beta then s.cwnd <- s.cwnd -. mss
+  end;
+  s.cwnd <- Float.max s.cwnd (2. *. mss)
+
+let make ?(params = default_params) () =
+  let s =
+    {
+      p = params;
+      cwnd = params.init_cwnd_packets *. float_of_int params.mss;
+      base_rtt = infinity;
+      last_rtt = 0.;
+      epoch_start = 0.;
+      slow_start = true;
+      ss_parity = false;
+    }
+  in
+  let on_ack (a : Cca.ack_info) =
+    if a.rtt < s.base_rtt then s.base_rtt <- a.rtt;
+    s.last_rtt <- a.rtt;
+    if a.now -. s.epoch_start >= a.rtt then begin
+      s.epoch_start <- a.now;
+      per_rtt_update s
+    end
+  in
+  let on_loss (l : Cca.loss_info) =
+    match l.kind with
+    | `Timeout -> s.cwnd <- 2. *. float_of_int s.p.mss
+    | `Dupack -> s.cwnd <- Float.max (s.cwnd /. 2.) (2. *. float_of_int s.p.mss)
+  in
+  {
+    Cca.name = "vegas";
+    on_ack;
+    on_loss;
+    on_send = (fun _ -> ());
+    on_timer = (fun _ -> ());
+    next_timer = (fun () -> None);
+    cwnd = (fun () -> s.cwnd);
+    pacing_rate = (fun () -> None);
+    inspect =
+      (fun () ->
+        [
+          ("cwnd", s.cwnd);
+          ("base_rtt", s.base_rtt);
+          ("queued_packets", queued_packets s);
+          ("slow_start", if s.slow_start then 1. else 0.);
+        ]);
+  }
+
+let equilibrium_rtt p ~rate ~rm =
+  let target = (p.alpha +. p.beta) /. 2. in
+  rm +. (target *. float_of_int p.mss /. rate)

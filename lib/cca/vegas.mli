@@ -1,0 +1,27 @@
+(** TCP Vegas (Brakmo et al., SIGCOMM 1994).
+
+    Once per RTT, estimates the number of its own packets sitting in the
+    bottleneck queue as [cwnd * (rtt - base_rtt) / rtt] and additively
+    increases (below [alpha]) or decreases (above [beta]) the window by one
+    segment, holding otherwise.  Equilibrium: between [alpha] and [beta]
+    packets queued, i.e. the rate-delay map of Figure 3 (left) with
+    delta(C) = 0.
+
+    The [base_rtt] is the minimum RTT ever observed — the estimate the
+    paper's §5.1 scenarios poison with one under-delayed packet. *)
+
+type params = {
+  alpha : float;  (** lower bound on queued packets (default 2) *)
+  beta : float;  (** upper bound on queued packets (default 4) *)
+  gamma : float;  (** slow-start exit threshold in queued packets (default 1) *)
+  init_cwnd_packets : float;  (** default 4 *)
+  mss : int;
+}
+
+val default_params : params
+
+val make : ?params:params -> unit -> Cca.t
+
+val equilibrium_rtt : params -> rate:float -> rm:float -> float
+(** Analytic equilibrium RTT on an ideal path of the given rate: the §4.1
+    formula [Rm + alpha_pkts * mss / C] (using the alpha/beta midpoint). *)

@@ -1,0 +1,62 @@
+module Extremum = struct
+  (* Standard sliding-window-extremum monotonic deque, stored as a list with
+     the newest sample first.  Invariant: values are strictly "improving"
+     toward the tail (for a min filter, the tail holds the smallest value),
+     so the current extremum is the last element.  Window sizes in this
+     code base hold at most a few thousand samples, so O(length) tail
+     eviction is fine. *)
+  type entry = { time : float; value : float }
+
+  type t = {
+    mutable window : float;
+    dominates : float -> float -> bool; (* [dominates new old]: old entry is useless *)
+    mutable items : entry list; (* newest first *)
+  }
+
+  let create_min ~window =
+    { window; dominates = (fun n o -> n <= o); items = [] }
+
+  let create_max ~window =
+    { window; dominates = (fun n o -> n >= o); items = [] }
+
+  let evict t ~time =
+    let cutoff = time -. t.window in
+    t.items <- List.filter (fun e -> e.time >= cutoff) t.items
+
+  let push t ~time value =
+    evict t ~time;
+    let rec drop_dominated = function
+      | e :: rest when t.dominates value e.value -> drop_dominated rest
+      | l -> l
+    in
+    t.items <- { time; value } :: drop_dominated t.items
+
+  let get t =
+    match t.items with
+    | [] -> None
+    | items ->
+        let rec last = function
+          | [ e ] -> e.value
+          | _ :: rest -> last rest
+          | [] -> assert false
+        in
+        Some (last items)
+
+  let get_default t d = match get t with Some v -> v | None -> d
+  let set_window t w = t.window <- w
+  let clear t = t.items <- []
+end
+
+module Ewma = struct
+  type t = { gain : float; mutable value : float option }
+
+  let create ~gain = { gain; value = None }
+
+  let push t x =
+    match t.value with
+    | None -> t.value <- Some x
+    | Some v -> t.value <- Some (((1. -. t.gain) *. v) +. (t.gain *. x))
+
+  let get t = t.value
+  let get_default t d = match t.value with Some v -> v | None -> d
+end

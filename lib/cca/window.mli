@@ -1,0 +1,43 @@
+(** Sliding-window filters over timestamped samples.
+
+    Used by BBR (windowed-max bandwidth), Copa (standing RTT = windowed-min
+    over half an RTT), and the experiment analysis code.  Samples must be
+    pushed with non-decreasing timestamps; stale samples are evicted lazily
+    on push and query. *)
+
+(** Windowed minimum/maximum filter.  O(1) amortized per push. *)
+module Extremum : sig
+  type t
+
+  val create_min : window:float -> t
+  (** Filter reporting the minimum over the last [window] seconds. *)
+
+  val create_max : window:float -> t
+  (** Filter reporting the maximum over the last [window] seconds. *)
+
+  val push : t -> time:float -> float -> unit
+  (** Insert a sample.  Times must be non-decreasing. *)
+
+  val get : t -> float option
+  (** Current extremum over the window, [None] if the window is empty. *)
+
+  val get_default : t -> float -> float
+  (** [get_default t d] is the extremum, or [d] when empty. *)
+
+  val set_window : t -> float -> unit
+  (** Change the window length (takes effect on subsequent evictions). *)
+
+  val clear : t -> unit
+end
+
+(** Exponentially weighted moving average. *)
+module Ewma : sig
+  type t
+
+  val create : gain:float -> t
+  (** [gain] in (0, 1]: weight of each new sample. *)
+
+  val push : t -> float -> unit
+  val get : t -> float option
+  val get_default : t -> float -> float
+end

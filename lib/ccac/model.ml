@@ -1,0 +1,184 @@
+type 's cca = {
+  name : string;
+  init : 's;
+  update : 's -> delay:float -> acked:float -> lost:bool -> 's;
+  rate : 's -> float;
+}
+
+let vegas_model ~rm ~mss ~alpha =
+  {
+    name = "vegas-model";
+    init = 4. *. mss;
+    update =
+      (fun cwnd ~delay ~acked:_ ~lost ->
+        if lost then Float.max (cwnd /. 2.) (2. *. mss)
+        else begin
+          let queued_pkts = cwnd /. mss *. (Float.max 0. (delay -. rm) /. delay) in
+          let next =
+            if queued_pkts < alpha then cwnd +. mss
+            else if queued_pkts > alpha +. 2. then cwnd -. mss
+            else cwnd
+          in
+          Float.max next (2. *. mss)
+        end);
+    rate = (fun cwnd -> cwnd /. rm);
+  }
+
+let aimd_model ~rm ~mss =
+  {
+    name = "aimd-model";
+    init = 4. *. mss;
+    update =
+      (fun cwnd ~delay:_ ~acked:_ ~lost ->
+        if lost then Float.max (cwnd /. 2.) mss else cwnd +. mss);
+    rate = (fun cwnd -> cwnd /. rm);
+  }
+
+type choice = {
+  waste : bool;
+  split_bias : [ `Fifo | `Favor_1 | `Favor_2 ];
+  jitter_1 : float;
+  jitter_2 : float;
+}
+
+type 's state = {
+  cca1 : 's;
+  cca2 : 's;
+  arrived1 : float;
+  arrived2 : float;
+  served1 : float;  (** physical cumulative service *)
+  served2 : float;
+  counted1 : float;  (** service after the warmup — the metric inputs *)
+  counted2 : float;
+  served1_lag : float;
+  served2_lag : float;
+  steps : int;
+}
+
+let queue st = st.arrived1 +. st.arrived2 -. st.served1 -. st.served2
+
+let unfairness st =
+  let x1 = st.counted1 and x2 = st.counted2 in
+  if x1 <= 0. then if x2 > 0. then infinity else 1.
+  else Float.max (x2 /. x1) (x1 /. x2)
+
+let utilization ~link_rate ~rm ~warmup st =
+  let measured = max (st.steps - warmup) 1 in
+  (st.counted1 +. st.counted2) /. (link_rate *. rm *. float_of_int measured)
+
+let system ~cca ~link_rate ~rm ~big_d ~buffer ~warmup ~score =
+  let jitters = [ 0.; big_d /. 2.; big_d ] in
+  let choices st =
+    let backlogged = queue st > 1e-9 in
+    let wastes = if backlogged then [ false ] else [ false; true ] in
+    List.concat_map
+      (fun waste ->
+        List.concat_map
+          (fun split_bias ->
+            List.concat_map
+              (fun jitter_1 ->
+                List.map
+                  (fun jitter_2 -> { waste; split_bias; jitter_1; jitter_2 })
+                  jitters)
+              jitters)
+          [ `Fifo; `Favor_1; `Favor_2 ])
+      wastes
+  in
+  let step st c =
+    (* Arrivals this step at the CCAs' current rates, clipped by the
+       buffer: bytes beyond it are dropped and become the loss signal. *)
+    let a1_want = cca.rate st.cca1 *. rm and a2_want = cca.rate st.cca2 *. rm in
+    let q0 = queue st in
+    let room = Float.max 0. (buffer +. (link_rate *. rm) -. q0) in
+    let want = a1_want +. a2_want in
+    let scale = if want <= room || want <= 0. then 1. else room /. want in
+    let a1 = a1_want *. scale and a2 = a2_want *. scale in
+    let lost1 = scale < 1. -. 1e-12 && a1_want > 0. in
+    let lost2 = scale < 1. -. 1e-12 && a2_want > 0. in
+    let arrived1 = st.arrived1 +. a1 and arrived2 = st.arrived2 +. a2 in
+    (* Service: full rate when backlogged; wasteable otherwise. *)
+    let backlog1 = arrived1 -. st.served1 and backlog2 = arrived2 -. st.served2 in
+    let capacity = if c.waste then 0. else link_rate *. rm in
+    let total_served = Float.min (backlog1 +. backlog2) capacity in
+    (* FIFO relaxation floors: each flow must receive at least what it had
+       enqueued one queueing-delay ago (already-served bytes count). *)
+    let floor1 = Float.min backlog1 (Float.max 0. (st.served1_lag -. st.served1)) in
+    let floor2 = Float.min backlog2 (Float.max 0. (st.served2_lag -. st.served2)) in
+    let floor_total = Float.min total_served (floor1 +. floor2) in
+    let spare = total_served -. floor_total in
+    let s1, s2 =
+      let room1 = backlog1 -. floor1 and room2 = backlog2 -. floor2 in
+      match c.split_bias with
+      | `Favor_1 ->
+          let extra1 = Float.min spare room1 in
+          (floor1 +. extra1, floor2 +. Float.min (spare -. extra1) room2)
+      | `Favor_2 ->
+          let extra2 = Float.min spare room2 in
+          (floor1 +. Float.min (spare -. extra2) room1, floor2 +. extra2)
+      | `Fifo ->
+          (* Proportional to backlog — the neutral FIFO approximation. *)
+          let total_room = room1 +. room2 in
+          if total_room <= 0. then (floor1, floor2)
+          else
+            ( floor1 +. (spare *. room1 /. total_room),
+              floor2 +. (spare *. room2 /. total_room) )
+    in
+    let served1 = st.served1 +. s1 and served2 = st.served2 +. s2 in
+    (* Observed delays: queueing plus adversarial jitter. *)
+    let qd =
+      (arrived1 +. arrived2 -. served1 -. served2) /. link_rate
+    in
+    let d1 = rm +. qd +. c.jitter_1 and d2 = rm +. qd +. c.jitter_2 in
+    (* Eventual-throughput accounting: service before warmup does not
+       count toward the fairness/utilization metrics. *)
+    let count = st.steps >= warmup in
+    {
+      cca1 = cca.update st.cca1 ~delay:d1 ~acked:s1 ~lost:lost1;
+      cca2 = cca.update st.cca2 ~delay:d2 ~acked:s2 ~lost:lost2;
+      arrived1;
+      arrived2;
+      served1;
+      served2;
+      counted1 = (st.counted1 +. if count then s1 else 0.);
+      counted2 = (st.counted2 +. if count then s2 else 0.);
+      served1_lag = arrived1 -. (qd *. cca.rate st.cca1);
+      served2_lag = arrived2 -. (qd *. cca.rate st.cca2);
+      steps = st.steps + 1;
+    }
+  in
+  {
+    Search.initial =
+      {
+        cca1 = cca.init;
+        cca2 = cca.init;
+        arrived1 = 0.;
+        arrived2 = 0.;
+        served1 = 0.;
+        served2 = 0.;
+        counted1 = 0.;
+        counted2 = 0.;
+        served1_lag = 0.;
+        served2_lag = 0.;
+        steps = 0;
+      };
+    choices;
+    step;
+    score;
+  }
+
+let max_unfairness ~cca ~link_rate ~rm ~big_d ?buffer ~horizon ?(beam_width = 256) () =
+  let buffer = Option.value buffer ~default:infinity in
+  let sys =
+    system ~cca ~link_rate ~rm ~big_d ~buffer ~warmup:(horizon / 2)
+      ~score:unfairness
+  in
+  let best = Search.beam_max sys ~horizon ~width:beam_width in
+  (best.Search.score, best.Search.trace)
+
+let min_utilization ~cca ~link_rate ~rm ~big_d ?buffer ~horizon ?(beam_width = 256) () =
+  let warmup = horizon / 2 in
+  let buffer = Option.value buffer ~default:infinity in
+  let score st = 1. -. utilization ~link_rate ~rm ~warmup st in
+  let sys = system ~cca ~link_rate ~rm ~big_d ~buffer ~warmup ~score in
+  let best = Search.beam_max sys ~horizon ~width:beam_width in
+  1. -. best.Search.score

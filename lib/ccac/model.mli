@@ -1,0 +1,107 @@
+(** The CCAC-style discretized network model, extended to two flows as in
+    Appendix C.
+
+    Time advances in steps of one Rm.  The model tracks per-flow cumulative
+    arrivals A_i and service S_i (bytes).  Each step the adversary picks:
+
+    - whether the link wastes its spare capacity (CCAC's waste variable —
+      only available when the queue is empty, so a backlogged link must
+      serve at full rate);
+    - how the served bytes split between the flows, within the Appendix C
+      FIFO relaxation [S_i(t) > A_i(t - d_t)]: a flow must receive at
+      least the bytes it had already enqueued one queueing-delay ago, but
+      between that floor and its full backlog the split is adversarial
+      (modeling burst interleaving at the queue);
+    - each flow's non-congestive delay from {0, D/2, D} (the §3 element).
+
+    The CCA under test is supplied as a pure update function so states can
+    be shared across search branches.  Two reference models are included:
+    a Vegas-style AIAD-on-delay and a plain AIMD. *)
+
+type 's cca = {
+  name : string;
+  init : 's;
+  update : 's -> delay:float -> acked:float -> lost:bool -> 's;
+      (** one Rm's worth of feedback: observed (jitterable) RTT, bytes
+          delivered, and whether the flow physically lost packets to a
+          buffer overflow this step.  Loss is physical — jitter cannot
+          fake it, which is exactly why loss-based CCAs resist the delay
+          adversary (§5.4). *)
+  rate : 's -> float;  (** current sending rate, bytes/s *)
+}
+
+val vegas_model : rm:float -> mss:float -> alpha:float -> float cca
+(** AIAD toward [alpha] packets of perceived queueing (state = cwnd bytes).
+    The perceived base RTT is the true [rm] — an oracle that only makes
+    the model *harder* to break, so found violations are conservative. *)
+
+val aimd_model : rm:float -> mss:float -> float cca
+(** +1 packet per Rm, halve on physical loss.  State = cwnd bytes.
+    Delay-blind, so the jitter adversary cannot touch it directly. *)
+
+(** Adversary move for one step. *)
+type choice = {
+  waste : bool;  (** waste spare capacity this step (queue must be empty) *)
+  split_bias : [ `Fifo | `Favor_1 | `Favor_2 ];
+  jitter_1 : float;
+  jitter_2 : float;
+}
+
+type 's state = {
+  cca1 : 's;
+  cca2 : 's;
+  arrived1 : float;  (** cumulative bytes *)
+  arrived2 : float;
+  served1 : float;  (** physical cumulative service *)
+  served2 : float;
+  counted1 : float;  (** post-warmup service — what the metrics use *)
+  counted2 : float;
+  served1_lag : float;  (** A_1 one queueing-delay ago: the FIFO floor *)
+  served2_lag : float;
+  steps : int;
+}
+
+val system :
+  cca:'s cca ->
+  link_rate:float ->
+  rm:float ->
+  big_d:float ->
+  buffer:float ->
+  warmup:int ->
+  score:('s state -> float) ->
+  ('s state, choice) Search.system
+(** Build a searchable system.  [buffer] (bytes; pass [infinity] for the
+    unbounded ideal queue) bounds the physical queue; arrivals beyond it
+    are dropped and reported to the CCA as loss.  [score] is evaluated on
+    final states; service is only credited to the metrics after [warmup]
+    steps (throughput is an eventual property). *)
+
+val unfairness : 's state -> float
+(** max ratio of the counted (post-warmup) services, with infinity for
+    starvation. *)
+
+val utilization : link_rate:float -> rm:float -> warmup:int -> 's state -> float
+
+val max_unfairness :
+  cca:'s cca ->
+  link_rate:float ->
+  rm:float ->
+  big_d:float ->
+  ?buffer:float ->
+  horizon:int ->
+  ?beam_width:int ->
+  unit ->
+  float * choice list
+(** Beam-search the adversary's best unfairness over [horizon] steps. *)
+
+val min_utilization :
+  cca:'s cca ->
+  link_rate:float ->
+  rm:float ->
+  big_d:float ->
+  ?buffer:float ->
+  horizon:int ->
+  ?beam_width:int ->
+  unit ->
+  float
+(** Beam-search the adversary's best under-utilization (single metric). *)

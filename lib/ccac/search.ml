@@ -1,0 +1,69 @@
+type ('s, 'c) system = {
+  initial : 's;
+  choices : 's -> 'c list;
+  step : 's -> 'c -> 's;
+  score : 's -> float;
+}
+
+type ('s, 'c) best = { state : 's; score : float; trace : 'c list }
+
+let dfs_max sys ~horizon =
+  let best = ref { state = sys.initial; score = neg_infinity; trace = [] } in
+  let rec go state depth rev_trace =
+    if depth = horizon then begin
+      let score = sys.score state in
+      if score > !best.score then
+        best := { state; score; trace = List.rev rev_trace }
+    end
+    else
+      match sys.choices state with
+      | [] ->
+          (* Dead end: score what we have. *)
+          let score = sys.score state in
+          if score > !best.score then
+            best := { state; score; trace = List.rev rev_trace }
+      | cs ->
+          List.iter (fun c -> go (sys.step state c) (depth + 1) (c :: rev_trace)) cs
+  in
+  go sys.initial 0 [];
+  !best
+
+let beam_max sys ~horizon ~width =
+  let expand (state, rev_trace) =
+    match sys.choices state with
+    | [] -> [ (state, rev_trace) ]
+    | cs -> List.map (fun c -> (sys.step state c, c :: rev_trace)) cs
+  in
+  let rec go depth frontier =
+    if depth = horizon then frontier
+    else begin
+      let next = List.concat_map expand frontier in
+      let sorted =
+        List.sort
+          (fun (a, _) (b, _) -> Float.compare (sys.score b) (sys.score a))
+          next
+      in
+      let rec take n = function
+        | [] -> []
+        | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+      in
+      go (depth + 1) (take width sorted)
+    end
+  in
+  let final = go 0 [ (sys.initial, []) ] in
+  List.fold_left
+    (fun acc (state, rev_trace) ->
+      let score = sys.score state in
+      if score > acc.score then { state; score; trace = List.rev rev_trace } else acc)
+    { state = sys.initial; score = neg_infinity; trace = [] }
+    final
+
+let count_leaves sys ~horizon =
+  let rec go state depth =
+    if depth = horizon then 1
+    else
+      match sys.choices state with
+      | [] -> 1
+      | cs -> List.fold_left (fun acc c -> acc + go (sys.step state c) (depth + 1)) 0 cs
+  in
+  go sys.initial 0

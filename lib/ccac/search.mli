@@ -1,0 +1,30 @@
+(** Bounded adversarial search over discretized network traces.
+
+    The paper (and its Appendix C extension) uses the CCAC SMT verifier to
+    ask "does a network trace of length T exist on which the CCA misbehaves
+    (starves, or under-utilizes)?".  No SMT solver is available in this
+    environment, so we answer the same bounded question by explicit search
+    over a discretized adversary-choice alphabet: exhaustive DFS when the
+    tree is small, beam search otherwise.  DFS results are exact for the
+    discretized model; beam results are lower bounds on the adversary's
+    best score. *)
+
+type ('s, 'c) system = {
+  initial : 's;
+  choices : 's -> 'c list;  (** adversary moves available in this state *)
+  step : 's -> 'c -> 's;  (** must be pure: states are shared across branches *)
+  score : 's -> float;  (** objective the adversary maximizes, at horizon *)
+}
+
+type ('s, 'c) best = { state : 's; score : float; trace : 'c list }
+
+val dfs_max : ('s, 'c) system -> horizon:int -> ('s, 'c) best
+(** Exhaustive depth-first maximization over all choice sequences of length
+    [horizon].  Exact; exponential in the horizon. *)
+
+val beam_max : ('s, 'c) system -> horizon:int -> width:int -> ('s, 'c) best
+(** Keep the [width] best-scoring partial states per depth (scored with
+    [score] on intermediate states).  A lower bound on the true optimum. *)
+
+val count_leaves : ('s, 'c) system -> horizon:int -> int
+(** Size of the DFS tree's leaf set — use to decide DFS vs beam. *)

@@ -1,0 +1,40 @@
+let blocks ~d ~jitter =
+  if jitter <= 0. then invalid_arg "Ambiguity.blocks: jitter must be positive";
+  let lo = Float.max 0. (d -. jitter) in
+  (int_of_float (Float.floor (lo /. jitter)), int_of_float (Float.floor (d /. jitter)))
+
+let distinguishable ~d1 ~d2 ~jitter =
+  (* Windows [d_i - D, d_i] overlap iff |d1 - d2| <= D. *)
+  Float.abs (d1 -. d2) > jitter
+
+let vegas_mu_plus ~alpha_bytes ~jitter ~s =
+  alpha_bytes /. jitter *. (1. -. (1. /. s))
+
+let vegas_range ~rm ~rmax ~jitter ~s = (rmax -. rm) /. jitter *. (1. -. (1. /. s))
+
+let exponential_range ~rm ~rmax ~jitter ~s = s ** ((rmax -. rm -. jitter) /. jitter)
+
+type merit_row = {
+  jitter : float;
+  s : float;
+  rmax : float;
+  rm : float;
+  vegas : float;
+  exponential : float;
+}
+
+let merit_table ~rm ~rmax ~jitters ~ss =
+  List.concat_map
+    (fun jitter ->
+      List.map
+        (fun s ->
+          {
+            jitter;
+            s;
+            rmax;
+            rm;
+            vegas = vegas_range ~rm ~rmax ~jitter ~s;
+            exponential = exponential_range ~rm ~rmax ~jitter ~s;
+          })
+        ss)
+    jitters

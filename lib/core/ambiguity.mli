@@ -1,0 +1,43 @@
+(** Measurement-ambiguity analysis (§6.2) and the bounded-rate-range
+    figure of merit (§6.3).
+
+    With jitter bound D, a measured RTT d only pins the congestive part to
+    the window [max(0, d - D), d] — two D-sized blocks in the discretized
+    mental model of §6.2.  A rate-delay curve avoids s-unfairness on
+    [mu-, mu+] when rates s apart map to delays more than D apart; §6.3
+    derives the resulting supported rate range for the Vegas family
+    (Eq. 1, linear in Rmax/D) and for the paper's exponential curve
+    (Eq. 2, exponential: s^((Rmax - Rm - D)/D)). *)
+
+val blocks : d:float -> jitter:float -> int * int
+(** The (lowest, highest) D-sized block index the congestive delay + Rm of
+    a measured RTT [d] can lie in. *)
+
+val distinguishable : d1:float -> d2:float -> jitter:float -> bool
+(** True when two measured delays cannot be explained by the same
+    congestive state, i.e. their ambiguity windows do not overlap. *)
+
+val vegas_mu_plus : alpha_bytes:float -> jitter:float -> s:float -> float
+(** Eq. 1 precursor: the largest rate (bytes/s) at which the Vegas-family
+    curve still separates mu from s*mu by more than D:
+    [alpha / D * (1 - 1/s)]. *)
+
+val vegas_range : rm:float -> rmax:float -> jitter:float -> s:float -> float
+(** Eq. 1: mu+/mu- = (Rmax - Rm)/D * (1 - 1/s). *)
+
+val exponential_range : rm:float -> rmax:float -> jitter:float -> s:float -> float
+(** §6.3: mu+/mu- = s^((Rmax - Rm - D)/D). *)
+
+type merit_row = {
+  jitter : float;
+  s : float;
+  rmax : float;
+  rm : float;
+  vegas : float;
+  exponential : float;
+}
+
+val merit_table :
+  rm:float -> rmax:float -> jitters:float list -> ss:float list -> merit_row list
+(** The §6.3 comparison grid (the paper's example: D = 10 ms, Rmax = 100 ms,
+    s = 2 gives ~2^10; s = 4 gives ~2^20). *)

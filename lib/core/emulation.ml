@@ -1,0 +1,71 @@
+type check = {
+  samples : int;
+  violations : int;
+  eta_min : float;
+  eta_max : float;
+  d_star : Sim.Series.t;
+}
+
+let d_star_constant ~delta_max ~epsilon = delta_max +. epsilon
+
+let d_star_at ~c1 ~c2 ~d1 ~d2 ~delta_max ~epsilon =
+  (((c1 *. d1) +. (c2 *. d2)) /. (c1 +. c2)) -. d_star_constant ~delta_max ~epsilon
+
+let verify ~c1 ~c2 ~d1 ~d2 ~delta_max ~epsilon ~t0 ~t1 ~dt =
+  let big_d = (2. *. delta_max) +. (2. *. epsilon) in
+  let star = Sim.Series.create ~name:"d_star" () in
+  let samples = ref 0 and violations = ref 0 in
+  let eta_min = ref infinity and eta_max = ref neg_infinity in
+  let t = ref t0 in
+  while !t <= t1 +. 1e-12 do
+    (match (Sim.Series.value_at d1 !t, Sim.Series.value_at d2 !t) with
+    | Some v1, Some v2 ->
+        let ds = d_star_at ~c1 ~c2 ~d1:v1 ~d2:v2 ~delta_max ~epsilon in
+        Sim.Series.add star ~time:!t ds;
+        List.iter
+          (fun v ->
+            let eta = v -. ds in
+            incr samples;
+            if eta < !eta_min then eta_min := eta;
+            if eta > !eta_max then eta_max := eta;
+            if eta < -1e-9 || eta > big_d +. 1e-9 then incr violations)
+          [ v1; v2 ]
+    | _ -> ());
+    t := !t +. dt
+  done;
+  {
+    samples = !samples;
+    violations = !violations;
+    eta_min = !eta_min;
+    eta_max = !eta_max;
+    d_star = star;
+  }
+
+type controller = {
+  policy : Sim.Jitter.policy;
+  requested : Sim.Series.t;
+}
+
+let make_controller ~target ~time_shift () =
+  let requested = Sim.Series.create ~name:"eta_requested" () in
+  let last_logged = ref neg_infinity in
+  let policy =
+    Sim.Jitter.Controller
+      (fun (req : Sim.Jitter.request) ->
+        let wanted_rtt = target (req.sent +. time_shift) in
+        let eta = req.sent +. wanted_rtt -. req.arrival in
+        (* ACKs may be processed out of send order only across flows; within
+           a flow sends are ordered, so the series stays monotone.  Guard
+           anyway against coalesced batches sharing a send time. *)
+        if req.sent > !last_logged then begin
+          Sim.Series.add requested ~time:req.sent eta;
+          last_logged := req.sent
+        end;
+        eta)
+  in
+  { policy; requested }
+
+let initial_queue_bytes ~c1 ~c2 ~d1_0 ~d2_0 ~delta_max ~epsilon ~rm =
+  let ds0 = d_star_at ~c1 ~c2 ~d1:d1_0 ~d2:d2_0 ~delta_max ~epsilon in
+  let backlog = (ds0 -. rm) *. (c1 +. c2) in
+  if backlog <= 0. then 0 else int_of_float (Float.round backlog)

@@ -1,0 +1,72 @@
+(** Step 3 of the Theorem 1 proof: delay-trajectory emulation.
+
+    Given the single-flow delay trajectories d1(t), d2(t) that a CCA
+    produced alone on ideal links of rates C1 and C2, the construction runs
+    both flows on one shared link of rate C1+C2 and chooses each flow's
+    non-congestive delay eta_i(t) so that flow i observes exactly d_i(t).
+    The shared queue then contributes (Appendix A, Eq. 5)
+
+    d*(t) = (C1 d1(t) + C2 d2(t)) / (C1 + C2) - (delta_max + epsilon)
+
+    and eta_i(t) = d_i(t) - d*(t) must stay inside [0, D] with
+    D = 2 delta_max + 2 epsilon.  This module computes d*, the eta
+    schedules, verifies the bounds analytically on the recorded
+    trajectories, and builds the online jitter controllers that impose the
+    trajectories inside the 2-flow simulation. *)
+
+type check = {
+  samples : int;
+  violations : int;  (** grid points where eta fell outside [0, D] *)
+  eta_min : float;
+  eta_max : float;
+  d_star : Sim.Series.t;  (** the Eq. 5 trajectory, for the Figure 6 plot *)
+}
+
+val d_star_constant : delta_max:float -> epsilon:float -> float
+(** The constant subtracted in Eq. 5. *)
+
+val d_star_at :
+  c1:float -> c2:float -> d1:float -> d2:float -> delta_max:float ->
+  epsilon:float -> float
+(** Pointwise Eq. 5. *)
+
+val verify :
+  c1:float ->
+  c2:float ->
+  d1:Sim.Series.t ->
+  d2:Sim.Series.t ->
+  delta_max:float ->
+  epsilon:float ->
+  t0:float ->
+  t1:float ->
+  dt:float ->
+  check
+(** Analytic bound check of both eta trajectories over a uniform grid.
+    [d1]/[d2] are RTT-vs-send-time series from the single-flow runs. *)
+
+(** Online controller state for one flow of the 2-flow scenario. *)
+type controller = {
+  policy : Sim.Jitter.policy;
+      (** plug into the flow's jitter element; targets the recorded
+          trajectory by send time *)
+  requested : Sim.Series.t;  (** (send time, eta requested), for debugging *)
+}
+
+val make_controller :
+  target:(float -> float) ->
+  time_shift:float ->
+  unit ->
+  controller
+(** [target tau] is the RTT the flow must observe for a packet sent at
+    (2-flow scenario) time tau; [time_shift] maps scenario time to recorded
+    trajectory time (tau_recorded = tau + time_shift).  The controller
+    computes eta = sent + target(sent) - arrival online, so the emulation
+    is exact regardless of what the shared queue actually does; the jitter
+    element clamps and counts any bound violation. *)
+
+val initial_queue_bytes :
+  c1:float -> c2:float -> d1_0:float -> d2_0:float -> delta_max:float ->
+  epsilon:float -> rm:float -> int
+(** Bytes of phantom backlog that set the shared queue's initial delay to
+    d*(0) - Rm (Appendix A's choice of initial conditions); 0 if d*(0)
+    does not exceed Rm. *)

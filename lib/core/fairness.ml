@@ -1,0 +1,86 @@
+type report = {
+  throughputs : float array;
+  ratio : float;
+  jain : float;
+  utilization : float;
+}
+
+let of_network net ?(warmup_frac = 0.25) () =
+  let xs = Sim.Network.throughputs net ~warmup_frac () in
+  let l = Array.to_list xs in
+  {
+    throughputs = xs;
+    ratio = Sim.Stats.max_min_ratio l;
+    jain = Sim.Stats.jain_index l;
+    utilization = Sim.Network.utilization net ~warmup_frac ();
+  }
+
+let is_s_fair r ~s = r.ratio < s
+let starvation_score r = r.ratio
+
+let throughput_definition flow ~t =
+  if t <= 0. then 0.
+  else
+    let delivered =
+      match Sim.Series.value_at (Sim.Flow.delivered_series flow) t with
+      | Some v -> v
+      | None -> 0.
+    in
+    delivered /. t
+
+let ratio_trajectory net ~dt =
+  let flows = Sim.Network.flows net in
+  let out = Sim.Series.create ~name:"throughput_ratio" () in
+  let horizon =
+    Array.fold_left
+      (fun acc f ->
+        match Sim.Series.last (Sim.Flow.delivered_series f) with
+        | Some (t, _) -> Float.max acc t
+        | None -> acc)
+      0. flows
+  in
+  let t = ref dt in
+  while !t <= horizon do
+    let xs =
+      Array.to_list (Array.map (fun f -> throughput_definition f ~t:!t) flows)
+    in
+    if List.for_all (fun x -> x > 0.) xs then
+      Sim.Series.add out ~time:!t (Sim.Stats.max_min_ratio xs);
+    t := !t +. dt
+  done;
+  out
+
+let s_fair_from net ~dt ~s =
+  let traj = ratio_trajectory net ~dt in
+  let times = Sim.Series.times traj and values = Sim.Series.values traj in
+  let n = Array.length times in
+  if n = 0 then None
+  else begin
+    (* Last index where the ratio is >= s; fair from the next sample on. *)
+    let last_bad = ref (-1) in
+    for i = 0 to n - 1 do
+      if values.(i) >= s then last_bad := i
+    done;
+    if !last_bad = n - 1 then None
+    else if !last_bad < 0 then Some times.(0)
+    else Some times.(!last_bad + 1)
+  end
+
+let f_efficiency ~make_cca ~rate ~rm ?duration ?(seed = 42) () =
+  let duration =
+    match duration with Some d -> d | None -> Float.max 30. (400. *. rm)
+  in
+  let cfg =
+    Sim.Network.config ~rate:(Sim.Link.Constant rate) ~rm ~seed ~duration
+      [ Sim.Network.flow (make_cca ()) ]
+  in
+  let net = Sim.Network.run_config cfg in
+  let flow = (Sim.Network.flows net).(0) in
+  let best = ref 0. in
+  let checkpoints = 64 in
+  for k = checkpoints / 4 to checkpoints do
+    let t = duration *. float_of_int k /. float_of_int checkpoints in
+    let f = throughput_definition flow ~t /. rate in
+    if f > !best then best := f
+  done;
+  !best

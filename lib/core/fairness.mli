@@ -1,0 +1,42 @@
+(** Fairness and starvation metrics (paper §4.2, Definitions 2-4). *)
+
+type report = {
+  throughputs : float array;  (** bytes/s per flow over the window *)
+  ratio : float;  (** fastest over slowest; [infinity] if one flow starved *)
+  jain : float;
+  utilization : float;  (** sum of throughputs over mean link rate *)
+}
+
+val of_network : Sim.Network.t -> ?warmup_frac:float -> unit -> report
+
+val is_s_fair : report -> s:float -> bool
+(** True when the throughput ratio is below [s]. *)
+
+val starvation_score : report -> float
+(** The measured ratio — the quantity Theorem 1 drives above any target s. *)
+
+val throughput_definition : Sim.Flow.t -> t:float -> float
+(** The paper's throughput at time t: bytes acknowledged in [0, t] / t. *)
+
+val ratio_trajectory : Sim.Network.t -> dt:float -> Sim.Series.t
+(** Definition 2 made visible: the max/min ratio of the flows'
+    cumulative throughputs (bytes acked in [0, t] / t) sampled every [dt].
+    The network is s-fair exactly when this curve eventually stays under
+    s; a starving scenario shows it ratcheting upward instead. *)
+
+val s_fair_from : Sim.Network.t -> dt:float -> s:float -> float option
+(** The earliest sample time after which the Definition-2 ratio stays
+    below [s] for the remainder of the run; [None] if it never does. *)
+
+val f_efficiency :
+  make_cca:(unit -> Cca.t) ->
+  rate:float ->
+  rm:float ->
+  ?duration:float ->
+  ?seed:int ->
+  unit ->
+  float
+(** Empirical f for Definition 4: the best fraction of the link rate the
+    CCA's running throughput reaches at any point past the first quarter of
+    an ideal-path run (the definition only requires throughput >= f C
+    infinitely often, so we take the max over checkpoints). *)

@@ -1,0 +1,60 @@
+type point = {
+  fast_rate : float;
+  throughput : float;
+  utilization : float;
+  jitter_violations : int;
+  settled_violations : int;
+}
+
+type outcome = {
+  base : Convergence.measurement;
+  big_d : float;
+  points : point list;
+}
+
+let run ~make_cca ~rate ~rm ~multipliers ?duration ?(seed = 42) () =
+  let base = Convergence.measure ~make_cca ~rate ~rm ?duration ~seed () in
+  let duration = base.Convergence.duration in
+  let d_by_send = Theorem1.by_send_time base.Convergence.rtt in
+  let target = Theorem1.target_of_series d_by_send in
+  (* Jitter budget: everything above the propagation floor must fit,
+     including the slow-start overshoot before convergence. *)
+  let d_sup =
+    Array.fold_left Float.max 0. (Sim.Series.values base.Convergence.rtt)
+  in
+  let big_d = Float.max 0. (d_sup -. rm) +. 1e-4 in
+  let points =
+    List.map
+      (fun mult ->
+        let fast_rate = rate *. mult in
+        let ctrl = Emulation.make_controller ~target ~time_shift:0. () in
+        let cfg =
+          Sim.Network.config
+            ~rate:(Sim.Link.Constant fast_rate)
+            ~rm ~seed ~duration
+            [
+              Sim.Network.flow ~jitter:ctrl.Emulation.policy ~jitter_bound:big_d
+                (make_cca ());
+            ]
+        in
+        let net = Sim.Network.run_config cfg in
+        let throughput = (Sim.Network.throughputs net ()).(0) in
+        let settle = Float.max base.Convergence.t_converge (4. *. rm) in
+        let settled_violations =
+          Array.fold_left ( + ) 0
+            (Array.map2
+               (fun t eta ->
+                 if t >= settle && (eta < -1e-9 || eta > big_d +. 1e-9) then 1 else 0)
+               (Sim.Series.times ctrl.Emulation.requested)
+               (Sim.Series.values ctrl.Emulation.requested))
+        in
+        {
+          fast_rate;
+          throughput;
+          utilization = throughput /. fast_rate;
+          jitter_violations = Sim.Jitter.violations (Sim.Network.jitters net).(0);
+          settled_violations;
+        })
+      multipliers
+  in
+  { base; big_d; points }

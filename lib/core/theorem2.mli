@@ -1,0 +1,37 @@
+(** Theorem 2: a CCA whose converged delay stays at or below the jitter
+    bound D can be driven to arbitrarily low utilization.
+
+    Construction (paper §6.1): record the delay trajectory d(t) of the CCA
+    alone on an ideal link of rate C.  Then run it on a much faster link
+    C' >> C with a jitter controller that reproduces d(t) exactly — since
+    the queue on the fast link stays near-empty, the entire delay fits in
+    the [0, D] jitter budget whenever d_max(C) <= Rm + D.  The
+    deterministic CCA sends at its rate-C trajectory and utilization falls
+    as C'/C grows. *)
+
+type point = {
+  fast_rate : float;  (** C', bytes/s *)
+  throughput : float;
+  utilization : float;
+  jitter_violations : int;  (** clamps over the whole run *)
+  settled_violations : int;
+      (** clamps for packets sent after the reference run's convergence
+          time — the regime Theorem 2 speaks about *)
+}
+
+type outcome = {
+  base : Convergence.measurement;  (** the rate-C reference run *)
+  big_d : float;  (** jitter budget needed: d_max(C) - Rm (plus margin) *)
+  points : point list;  (** utilization vs C' sweep *)
+}
+
+val run :
+  make_cca:(unit -> Cca.t) ->
+  rate:float ->
+  rm:float ->
+  multipliers:float list ->
+  ?duration:float ->
+  ?seed:int ->
+  unit ->
+  outcome
+(** [multipliers] are the C'/C factors to sweep (e.g. [10; 100; 1000]). *)

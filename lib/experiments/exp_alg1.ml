@@ -1,0 +1,64 @@
+let merit_rows () =
+  Core.Ambiguity.merit_table ~rm:0. ~rmax:0.1
+    ~jitters:[ 0.005; 0.01; 0.02 ]
+    ~ss:[ 1.5; 2.; 4. ]
+
+let jitter_d = 0.01
+
+(* Persistent 10 ms of extra one-way delay appearing after the flows have
+   measured their floors — the same trick that poisons Copa in E1. *)
+let late_jitter arrival = if arrival < 1. then 0. else jitter_d
+
+let head_to_head ~make_cca ~duration =
+  let rate = Sim.Units.mbps 20. in
+  let net =
+    Sim.Network.run_config
+      (Sim.Network.config ~rate:(Sim.Link.Constant rate) ~rm:0.05 ~duration
+         [
+           Sim.Network.flow ~jitter:(Sim.Jitter.Trace late_jitter)
+             ~jitter_bound:jitter_d (make_cca ());
+           Sim.Network.flow (make_cca ());
+         ])
+  in
+  let t0 = duration /. 2. in
+  ( Sim.Network.throughput net ~flow:0 ~t0 ~t1:duration,
+    Sim.Network.throughput net ~flow:1 ~t0 ~t1:duration )
+
+let alg1_params =
+  {
+    Alg1.default_params with
+    rm = 0.05;
+    rmax = 0.1;
+    d_jitter = jitter_d;
+    s = 2.;
+    mu_minus = Sim.Units.kbps 100.;
+    a = Sim.Units.kbps 100.;
+  }
+
+let run ?(quick = false) () =
+  let duration = if quick then 30. else 90. in
+  let x1_alg, x2_alg = head_to_head ~make_cca:(fun () -> Alg1.make ~params:alg1_params ()) ~duration in
+  let x1_veg, x2_veg = head_to_head ~make_cca:(fun () -> Vegas.make ()) ~duration in
+  let ratio a b = Float.max a b /. Float.max (Float.min a b) 1. in
+  let paper_point =
+    Core.Ambiguity.exponential_range ~rm:0. ~rmax:0.1 ~jitter:0.01 ~s:2.
+  in
+  let vegas_point = Core.Ambiguity.vegas_range ~rm:0. ~rmax:0.1 ~jitter:0.01 ~s:2. in
+  [
+    Report.row ~id:"E10" ~label:"figure of merit mu+/mu- (D=10ms, Rmax=100ms, s=2)"
+      ~paper:"Vegas family O(Rmax/D) ~ 5; exponential ~ 2^9-2^10"
+      ~measured:(Printf.sprintf "vegas %.1f, exponential %.0f" vegas_point paper_point)
+      ~ok:(paper_point > 100. *. vegas_point);
+    Report.row ~id:"E11a" ~label:"alg1 2-flow, +10ms jitter on flow 1"
+      ~paper:"stays s-fair (s=2) by design"
+      ~measured:
+        (Printf.sprintf "%s vs %s (ratio %.2f)" (Report.mbps x1_alg)
+           (Report.mbps x2_alg) (ratio x1_alg x2_alg))
+      ~ok:(ratio x1_alg x2_alg < 2.6);
+    Report.row ~id:"E11b" ~label:"vegas 2-flow, same +10ms jitter"
+      ~paper:"starves (delta_max = 0 << D/2)"
+      ~measured:
+        (Printf.sprintf "%s vs %s (ratio %.2f)" (Report.mbps x1_veg)
+           (Report.mbps x2_veg) (ratio x1_veg x2_veg))
+      ~ok:(ratio x1_veg x2_veg > 4.);
+  ]

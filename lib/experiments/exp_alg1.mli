@@ -1,0 +1,16 @@
+(** E10 (the §6.3 figure-of-merit table) and E11 (Algorithm 1 vs Vegas
+    under the same jitter).
+
+    E10 tabulates mu+/mu- for the Vegas-family curve (Eq. 1) against the
+    exponential curve (Eq. 2), including the paper's example points
+    (D = 10 ms, Rmax = 100 ms: s = 2 -> ~2^10; s = 4 -> ~2^20).
+
+    E11 runs the head-to-head simulation: two flows share a 20 Mbit/s
+    link; after a grace period flow 1's path picks up a persistent 10 ms of
+    non-congestive delay (legal for D = 10 ms).  Algorithm 1, designed for
+    that D, keeps the flows within its advertised s = 2; Vegas starves
+    flow 1. *)
+
+val run : ?quick:bool -> unit -> Report.row list
+
+val merit_rows : unit -> Core.Ambiguity.merit_row list

@@ -1,0 +1,14 @@
+(** §5.4 PCC Allegro random-loss experiments (E6).
+
+    120 Mbit/s, Rm = 40 ms, 1 BDP of buffer.
+    - E6a: flow 1 sees 2% random loss, flow 2 none -> unequal congestion
+      signals starve flow 1 (paper: 10.3 vs 99.1 Mbit/s).
+    - E6b: both see 2% -> fair and efficient (the signal is equal).
+    - E6c: a single flow with 2% loss still fills the link (Allegro
+      tolerates loss below its 5% threshold).
+
+    E6b converges slowly (the loss-noise-limited gradient the module doc
+    of {!Pcc_allegro} describes), so the full run uses a 400 s horizon and
+    measures the final quarter. *)
+
+val run : ?quick:bool -> unit -> Report.row list

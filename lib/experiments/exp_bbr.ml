@@ -1,0 +1,99 @@
+let rate = Sim.Units.mbps 120.
+
+let jitter = Sim.Jitter.Uniform { lo = 0.; hi = 0.002 }
+
+let mk seed = Bbr.make ~params:{ Bbr.default_params with seed } ()
+
+let two_rtt_starvation ~duration =
+  let net =
+    Sim.Network.run_config
+      (Sim.Network.config ~rate:(Sim.Link.Constant rate) ~rm:0.04 ~duration
+         [
+           Sim.Network.flow ~jitter ~jitter_bound:0.002 (mk 1);
+           Sim.Network.flow ~extra_rm:0.04 ~jitter ~jitter_bound:0.002 (mk 2);
+         ])
+  in
+  let t0 = duration /. 6. in
+  ( Sim.Network.throughput net ~flow:0 ~t0 ~t1:duration,
+    Sim.Network.throughput net ~flow:1 ~t0 ~t1:duration )
+
+(* The paper's §5.2 fixed-point analysis of cwnd-limited mode: in that
+   mode ACKs for flow i arrive at rate C w_i / (w1 + w2), the bandwidth
+   estimate equals the ACK rate, and the update is
+
+     w_i <- 2 Rm C w_i / (w1 + w2) + alpha.
+
+   With alpha > 0 the iteration contracts to the unique equal split
+   w_i = 2 C Rm / n + alpha; with alpha = 0 every split of 2 C Rm is a
+   fixed point, so a newcomer stuck at epsilon stays there. *)
+let cwnd_fixed_point ~alpha ~iterations ~w1_0 ~w2_0 ~rm =
+  let c = rate in
+  let w1 = ref w1_0 and w2 = ref w2_0 in
+  for _ = 1 to iterations do
+    let total = !w1 +. !w2 in
+    let next1 = (2. *. rm *. c *. !w1 /. total) +. alpha in
+    let next2 = (2. *. rm *. c *. !w2 /. total) +. alpha in
+    w1 := next1;
+    w2 := next2
+  done;
+  (!w1, !w2)
+
+(* The n-flow fixed point: with n equal-RTT cwnd-limited BBR flows the
+   paper derives RTT = 2 Rm + n alpha / C.  Measure it with n = 3. *)
+let n_flow_equilibrium_rtt ~duration =
+  let n = 3 in
+  let net =
+    Sim.Network.run_config
+      (Sim.Network.config ~rate:(Sim.Link.Constant rate) ~rm:0.04 ~duration
+         (List.init n (fun i ->
+              Sim.Network.flow ~jitter ~jitter_bound:0.002 (mk (10 + i)))))
+  in
+  let rtts =
+    Array.to_list (Sim.Network.flows net)
+    |> List.concat_map (fun f ->
+           Array.to_list
+             (Sim.Series.window_values (Sim.Flow.rtt_series f)
+                ~t0:(0.75 *. duration) ~t1:duration))
+  in
+  Sim.Stats.median (Array.of_list rtts)
+
+let run ?(quick = false) () =
+  let duration = if quick then 20. else 60. in
+  let x1, x2 = two_rtt_starvation ~duration in
+  let rm = 0.04 in
+  let bdp2 = 2. *. rate *. rm in
+  let alpha = Bbr.default_params.Bbr.quanta_packets *. 1500. in
+  (* Start from a 99:1 split of the 2-BDP pie. *)
+  let w1_with, w2_with =
+    cwnd_fixed_point ~alpha ~iterations:10_000 ~w1_0:(0.01 *. bdp2)
+      ~w2_0:(0.99 *. bdp2) ~rm
+  in
+  let w1_wo, w2_wo =
+    cwnd_fixed_point ~alpha:0. ~iterations:10_000 ~w1_0:(0.01 *. bdp2)
+      ~w2_0:(0.99 *. bdp2) ~rm
+  in
+  [
+    Report.row ~id:"E3" ~label:"bbr 2-flow, Rm 40/80 ms"
+      ~paper:"8.3 vs 107 Mbit/s (~13:1)"
+      ~measured:(Printf.sprintf "%s vs %s (%.1f:1)" (Report.mbps x1) (Report.mbps x2)
+           (Float.max x1 x2 /. Float.min x1 x2))
+      ~ok:(Float.max x1 x2 /. Float.min x1 x2 > 5.);
+    Report.row ~id:"E4a" ~label:"cwnd fixed point from 99:1 split, with +alpha"
+      ~paper:"unique fixed point: converges to equal shares"
+      ~measured:(Printf.sprintf "w1/w2 = %.3f" (w1_with /. w2_with))
+      ~ok:(Float.abs ((w1_with /. w2_with) -. 1.) < 0.01);
+    Report.row ~id:"E4b" ~label:"cwnd fixed point from 99:1 split, alpha = 0"
+      ~paper:"any split is a fixed point: stays 99:1"
+      ~measured:(Printf.sprintf "w1/w2 = %.3f" (w1_wo /. w2_wo))
+      ~ok:(w1_wo /. w2_wo < 0.05);
+    (let measured = n_flow_equilibrium_rtt ~duration in
+     let predicted =
+       Bbr.equilibrium_rtt_cwnd_limited Bbr.default_params ~rate ~rm ~n_flows:3
+     in
+     Report.row ~id:"E4c" ~label:"3-flow equilibrium RTT (simulated)"
+       ~paper:(Printf.sprintf "RTT = 2Rm + n*alpha/C = %s" (Report.msec predicted))
+       ~measured:(Report.msec measured)
+         (* ProbeRTT dips and the 1.25x probe phases widen the observed
+            distribution; the median must sit near the fixed point. *)
+       ~ok:(Float.abs (measured -. predicted) < 0.35 *. predicted));
+  ]

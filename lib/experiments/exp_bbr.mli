@@ -1,0 +1,13 @@
+(** §5.2 BBR experiments (E3 cwnd-limited starvation, E4 +alpha ablation).
+
+    E3: two BBR flows with Rm 40 ms and 80 ms share 120 Mbit/s for 60 s
+    with a little ACK jitter (the paper relied on natural OS jitter);
+    the small-RTT flow starves (paper: 8.3 vs 107 Mbit/s).
+
+    E4: the quanta ablation, run as the paper runs it — on the cwnd-limited
+    fixed-point iteration w_i <- 2 Rm C w_i/(w1+w2) + alpha.  With alpha > 0
+    a 99:1 split contracts to the unique equal fixed point; with alpha = 0
+    every split of 2 C Rm is a fixed point and the starved flow stays
+    starved. *)
+
+val run : ?quick:bool -> unit -> Report.row list

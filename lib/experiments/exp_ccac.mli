@@ -1,0 +1,13 @@
+(** E12: bounded model checking in the style of the paper's CCAC usage
+    (Appendix C, §5.4, §6.3).
+
+    - AIMD over 10 RTTs, 1 BDP buffer, adversarial victim selection:
+      unfairness is bounded (the paper proved no starvation trace exists
+      at this length; our exhaustive search reproduces the bound).
+    - The same model with injected non-congestive loss: the bound grows
+      with the horizon — loss-based CCAs starve under asymmetric loss.
+    - Algorithm 1 under the discretized jitter adversary: no trace found
+      exceeding its design s or breaking f-efficiency, while a Vegas-like
+      curve with the same endpoints is driven past the same s. *)
+
+val run : ?quick:bool -> unit -> Report.row list

@@ -1,0 +1,17 @@
+(** §5.1 Copa experiments (E1, E2 in DESIGN.md).
+
+    A 1 ms minimum-RTT under-estimate — one brief window of jitter-free
+    packets on a path that otherwise carries 1 ms of non-congestive delay —
+    makes Copa perceive a permanent phantom queue and collapse its rate.
+
+    E1: single flow, 120 Mbit/s, Rm = 60 ms -> order-of-magnitude
+    under-utilization (paper: 8 Mbit/s; analytically our Copa lands at
+    1/(delta * 1 ms) packets/s ~ 24 Mbit/s with delta = 0.5).
+    E2: two flows, only flow 1 poisoned -> ~5-10x starvation
+    (paper: 8.8 vs 95 Mbit/s). *)
+
+val poison_trace : float -> float
+(** The jitter schedule: 0 during the first RTT-and-a-bit, 1 ms after —
+    bounded by D = 1 ms, so it is a legal §3 delay element. *)
+
+val run : ?quick:bool -> unit -> Report.row list

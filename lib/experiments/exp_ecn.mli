@@ -1,0 +1,14 @@
+(** E13 (extension): explicit signaling avoids starvation (§6.4).
+
+    The paper conjectures that an AQM that marks packets above a queue
+    threshold, paired with a CCA that reacts to marks and ignores small
+    loss, prevents the starvation that non-congestive loss inflicts on
+    loss-based CCAs.  Head-to-head on a 48 Mbit/s, Rm = 40 ms link with
+    2% random loss on flow 1's path:
+
+    - plain Reno: flow 1 collapses (loss is its only congestion signal);
+    - ECN-Reno on a marking bottleneck: both flows keep their shares,
+      because CE marks — which both flows see equally — carry the
+      congestion signal and the non-congestive loss is ignored. *)
+
+val run : ?quick:bool -> unit -> Report.row list

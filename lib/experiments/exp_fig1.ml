@@ -1,0 +1,29 @@
+let rate = Sim.Units.mbps 48.
+let rm = 0.05
+
+let measure ~quick make_cca =
+  Core.Convergence.measure ~make_cca ~rate ~rm
+    ~duration:(if quick then 10. else 30.)
+    ()
+
+let run ?(quick = false) () =
+  let cases =
+    [ ("copa", fun () -> Copa.make ()); ("vegas", fun () -> Vegas.make ()) ]
+  in
+  List.map
+    (fun (name, mk) ->
+      let m = measure ~quick mk in
+      Report.row ~id:"F1" ~label:(name ^ " ideal-path convergence")
+        ~paper:"converges to a bounded delay region"
+        ~measured:(Printf.sprintf "T=%.1fs band=[%s, %s] delta=%s"
+             m.Core.Convergence.t_converge (Report.msec m.Core.Convergence.d_min)
+             (Report.msec m.Core.Convergence.d_max)
+             (Report.msec m.Core.Convergence.delta))
+        ~ok:m.Core.Convergence.converged)
+    cases
+
+let series ?(quick = false) () =
+  [
+    ("copa", (measure ~quick (fun () -> Copa.make ())).Core.Convergence.rtt);
+    ("vegas", (measure ~quick (fun () -> Vegas.make ())).Core.Convergence.rtt);
+  ]

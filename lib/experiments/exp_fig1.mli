@@ -1,0 +1,10 @@
+(** Figure 1: ideal-path RTT trajectory of delay-convergent CCAs.
+
+    Runs Copa and Vegas alone on a 48 Mbit/s, Rm = 50 ms ideal path and
+    verifies the Definition-1 structure: an initial transient, then all
+    samples inside a bounded converged region. *)
+
+val run : ?quick:bool -> unit -> Report.row list
+
+val series : ?quick:bool -> unit -> (string * Sim.Series.t) list
+(** Named RTT trajectories for plotting the figure. *)

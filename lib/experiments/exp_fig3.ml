@@ -1,0 +1,89 @@
+let curves () =
+  [
+    Core.Rate_delay.vegas Vegas.default_params;
+    Core.Rate_delay.fast Fast_tcp.default_params;
+    Core.Rate_delay.copa Copa.default_params;
+    Core.Rate_delay.bbr_pacing;
+    Core.Rate_delay.bbr_cwnd Bbr.default_params;
+    Core.Rate_delay.pcc_vivace;
+    Core.Rate_delay.ledbat Ledbat.default_params;
+  ]
+
+let analytic_series ~rm ~rates =
+  List.map
+    (fun c ->
+      (c.Core.Rate_delay.curve_name, Core.Rate_delay.sweep c ~rates ~rm))
+    (curves ())
+
+(* Empirical spot check: simulate the CCA at a rate and compare the
+   measured band to the analytic one. *)
+let spot ~quick ~rm (curve : Core.Rate_delay.curve) make_cca rate =
+  let m =
+    Core.Convergence.measure ~make_cca ~rate ~rm
+      ~duration:(if quick then 15. else 40.)
+      ()
+  in
+  let band = curve.Core.Rate_delay.band ~rate ~rm in
+  let tol = Float.max (0.3 *. (band.Core.Rate_delay.d_max -. band.Core.Rate_delay.d_min)) 0.004 in
+  let inside =
+    m.Core.Convergence.d_min >= band.Core.Rate_delay.d_min -. tol
+    && m.Core.Convergence.d_max <= band.Core.Rate_delay.d_max +. tol
+  in
+  (m, band, inside)
+
+let run ?(quick = false) () =
+  let rm = 0.1 in
+  let rate = Sim.Units.mbps 12. in
+  let cases =
+    [
+      (Core.Rate_delay.vegas Vegas.default_params, (fun () -> Vegas.make ()), "vegas");
+      (Core.Rate_delay.fast Fast_tcp.default_params, (fun () -> Fast_tcp.make ()), "fast");
+      (Core.Rate_delay.copa Copa.default_params, (fun () -> Copa.make ()), "copa");
+      (Core.Rate_delay.ledbat Ledbat.default_params, (fun () -> Ledbat.make ()), "ledbat");
+    ]
+  in
+  let spot_rows =
+    List.map
+      (fun (curve, mk, name) ->
+        let m, band, inside = spot ~quick ~rm curve mk rate in
+        Report.row ~id:"F3" ~label:(name ^ " empirical vs analytic band @12 Mbit/s")
+          ~paper:
+            (Printf.sprintf "[%s, %s]" (Report.msec band.Core.Rate_delay.d_min)
+               (Report.msec band.Core.Rate_delay.d_max))
+          ~measured:
+            (Printf.sprintf "[%s, %s]" (Report.msec m.Core.Convergence.d_min)
+               (Report.msec m.Core.Convergence.d_max))
+          ~ok:inside)
+      cases
+  in
+  (* Structural property behind Theorem 1: delta stays bounded (and the
+     bands approach Rm) as C grows, for every analytic curve. *)
+  let rates = List.map Sim.Units.mbps [ 0.1; 1.; 10.; 100. ] in
+  let shape_rows =
+    List.map
+      (fun (c : Core.Rate_delay.curve) ->
+        let bands = List.map (fun r -> c.band ~rate:r ~rm) rates in
+        let widths = List.map Core.Rate_delay.width bands in
+        let non_expanding =
+          match (widths, List.rev widths) with
+          | w0 :: _, wlast :: _ -> wlast <= w0 +. 1e-9
+          | _ -> false
+        in
+        (* Definition 1 bounds d_max only for C above some lambda; use
+           lambda = 1 Mbit/s as in the Figure 3 panels. *)
+        let d_max_bounded =
+          List.for_all2
+            (fun r (b : Core.Rate_delay.band) ->
+              r < Sim.Units.mbps 1. || b.d_max < 10. *. rm)
+            rates bands
+        in
+        Report.row ~id:"F2/F3" ~label:(c.curve_name ^ " band shape over 0.1..100 Mbit/s")
+          ~paper:"delta(C) bounded, d_max(C) bounded above lambda"
+          ~measured:
+            (Printf.sprintf "delta: %s -> %s"
+               (Report.msec (List.hd widths))
+               (Report.msec (List.hd (List.rev widths))))
+          ~ok:(non_expanding && d_max_bounded))
+      (curves ())
+  in
+  spot_rows @ shape_rows

@@ -1,0 +1,15 @@
+(** Figures 2 and 3: rate-delay maps.
+
+    Figure 2 is the analytic band of a hypothetical delay-convergent CCA
+    (we use the Vegas family).  Figure 3 plots the maps of Vegas/FAST,
+    Copa, BBR (both modes) and PCC Vivace for Rm = 100 ms over
+    0.1..100 Mbit/s.  The check compares analytic bands against simulated
+    equilibria at spot rates: every empirical band must fall inside (or
+    within a small tolerance of) the analytic one, and delta(C) must
+    shrink or stay bounded as C grows — the property Theorem 1 exploits. *)
+
+val run : ?quick:bool -> unit -> Report.row list
+
+val analytic_series :
+  rm:float -> rates:float list -> (string * (float * Core.Rate_delay.band) list) list
+(** The Figure 3 curves: (cca name, [(rate, band); ...]). *)

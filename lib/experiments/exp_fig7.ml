@@ -1,0 +1,54 @@
+type result = {
+  cca_name : string;
+  x_delack : float;
+  x_normal : float;
+  ratio : float;
+  cwnd_delack : Sim.Series.t;
+  cwnd_normal : Sim.Series.t;
+}
+
+let run_one ~make_cca ~name ~duration =
+  let rate = Sim.Units.mbps 6. in
+  let net =
+    Sim.Network.run_config
+      (Sim.Network.config ~rate:(Sim.Link.Constant rate) ~buffer:(60 * 1500)
+         ~rm:0.12 ~duration
+         [
+           Sim.Network.flow
+             ~ack_policy:(Sim.Network.Delayed { count = 4; timeout = 0.05 })
+             (make_cca ());
+           Sim.Network.flow (make_cca ());
+         ])
+  in
+  let t0 = duration /. 4. in
+  let x1 = Sim.Network.throughput net ~flow:0 ~t0 ~t1:duration in
+  let x2 = Sim.Network.throughput net ~flow:1 ~t0 ~t1:duration in
+  let flows = Sim.Network.flows net in
+  {
+    cca_name = name;
+    x_delack = x1;
+    x_normal = x2;
+    ratio = x2 /. x1;
+    cwnd_delack = Sim.Flow.cwnd_series flows.(0);
+    cwnd_normal = Sim.Flow.cwnd_series flows.(1);
+  }
+
+let series ?(quick = false) () =
+  let duration = if quick then 60. else 200. in
+  [
+    run_one ~make_cca:(fun () -> Reno.make ()) ~name:"reno" ~duration;
+    run_one ~make_cca:(fun () -> Cubic.make ()) ~name:"cubic" ~duration;
+  ]
+
+let run ?quick () =
+  let results = series ?quick () in
+  List.map
+    (fun r ->
+      let paper = match r.cca_name with "reno" -> "2.7x" | _ -> "3.2x" in
+      Report.row ~id:"F7"
+        ~label:(Printf.sprintf "%s, delayed-ACK x4 vs per-packet" r.cca_name)
+        ~paper:(Printf.sprintf "bounded unfairness, ratio %s" paper)
+        ~measured:(Printf.sprintf "%s vs %s (%.1fx)" (Report.mbps r.x_delack)
+             (Report.mbps r.x_normal) r.ratio)
+        ~ok:(r.ratio > 1.3 && r.ratio < 8.))
+    results

@@ -1,0 +1,17 @@
+(** E16 (extension): seed robustness of the headline starvation results.
+
+    Every simulation here is deterministic given its seed, so a skeptic
+    should ask whether the §5 ratios are seed-lottery wins.  This
+    experiment re-runs the BBR unequal-RTT scenario (E3) and the Copa
+    poisoning scenario (E2) across several seeds and reports the range of
+    starvation ratios: the shape must hold for every seed, not one. *)
+
+type spread = {
+  label : string;
+  ratios : float list;  (** one per seed *)
+  min_ratio : float;
+  max_ratio : float;
+}
+
+val run : ?quick:bool -> unit -> Report.row list
+val measure : ?quick:bool -> unit -> spread list

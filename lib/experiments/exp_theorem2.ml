@@ -1,0 +1,62 @@
+let run ?(quick = false) () =
+  let duration = if quick then 15. else 40. in
+  (* E8: Theorem 2 under-utilization sweep. *)
+  let t2 =
+    Core.Theorem2.run
+      ~make_cca:(fun () -> Vegas.make ())
+      ~rate:(Sim.Units.mbps 4.) ~rm:0.04
+      ~multipliers:(if quick then [ 10.; 100. ] else [ 10.; 100.; 1000. ])
+      ~duration ()
+  in
+  let utils = List.map (fun p -> p.Core.Theorem2.utilization) t2.Core.Theorem2.points in
+  let decreasing =
+    let rec chk = function
+      | a :: (b :: _ as rest) -> a > b && chk rest
+      | _ -> true
+    in
+    chk utils
+  in
+  let last_util = List.nth utils (List.length utils - 1) in
+  (* Theorem 2 is a statement about the converged regime; startup spikes
+     on the fast links are reported separately. *)
+  let violations =
+    List.fold_left (fun a p -> a + p.Core.Theorem2.settled_violations) 0
+      t2.Core.Theorem2.points
+  in
+  (* E9: Theorem 3 strong-model iteration on Algorithm 1. *)
+  let alg1_params =
+    (* Gentle AIMD constants: a large additive step makes Alg1's control
+       loop overshoot badly at megabit rates, smearing the per-trace
+       throughputs the iteration compares. *)
+    { Alg1.default_params with rm = 0.02; rmax = 0.06; d_jitter = 0.01;
+      a = Sim.Units.mbps 0.02; b = 0.95 }
+  in
+  let t3 =
+    Core.Theorem3.run
+      ~make_cca:(fun () -> Alg1.make ~params:alg1_params ())
+      ~lambda:(Sim.Units.mbps 1.) ~rm:0.02 ~big_d:0.01 ~s:1.6
+      ~duration:(if quick then 20. else 40.)
+      ()
+  in
+  [
+    Report.row ~id:"E8" ~label:"theorem 2: vegas on 10x..1000x faster link"
+      ~paper:"utilization -> 0 as C' grows"
+      ~measured:
+        (Printf.sprintf "utilization %s (violations %d)"
+           (String.concat " -> " (List.map (Printf.sprintf "%.3f") utils))
+           violations)
+      ~ok:(decreasing && last_util < 0.05 && violations = 0);
+    (let steps = t3.Core.Theorem3.steps in
+     let total =
+       match (steps, List.rev steps) with
+       | first :: _, last :: _ when first.Core.Theorem3.throughput > 0. ->
+           last.Core.Theorem3.throughput /. first.Core.Theorem3.throughput
+       | _ -> 0.
+     in
+     Report.row ~id:"E9" ~label:"theorem 3: strong-model iteration on alg1"
+       ~paper:"some consecutive trace pair ratio >= s"
+       ~measured:
+         (Printf.sprintf "%d traces, best consecutive ratio %.2f (s=%.1f), total %.1fx"
+            (List.length steps) t3.Core.Theorem3.ratio t3.Core.Theorem3.target_s total)
+       ~ok:(t3.Core.Theorem3.witness <> None && total > 4.));
+  ]

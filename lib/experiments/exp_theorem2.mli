@@ -1,0 +1,13 @@
+(** E8 (Theorem 2) and E9 (Theorem 3).
+
+    E8: a Vegas flow's ideal-path delay trajectory on C = 4 Mbit/s fits in
+    a small jitter budget, so replaying it on links 10x..1000x faster
+    leaves the CCA sending at ~C — utilization falls like 1/multiplier.
+
+    E9: the strong-model iteration d_{n+1} = max(0, d_n - D) applied to
+    Algorithm 1 (a delay-bounding CCA): successive traces carry less
+    phantom delay, the rate climbs the exponential curve, and some
+    consecutive pair of traces differs by more than s — the two-flow
+    starvation witness. *)
+
+val run : ?quick:bool -> unit -> Report.row list

@@ -1,0 +1,65 @@
+type point = {
+  jitter : float;
+  jitter_over_delta : float;
+  ratio : float;
+}
+
+let rate = Sim.Units.mbps 24.
+let rm = 0.04
+
+(* Each flow's fair share is rate/2; Copa's equilibrium oscillation at that
+   share (paper §2.2: 4 alpha / C) is the natural unit for D. *)
+let delta_max = 4. *. 1500. /. (rate /. 2.)
+
+let measure_ratio ~jitter_d ~duration =
+  let late_jitter t = if t < 1. then 0. else jitter_d in
+  let net =
+    Sim.Network.run_config
+      (Sim.Network.config ~rate:(Sim.Link.Constant rate) ~rm ~duration
+         [
+           Sim.Network.flow
+             ~jitter:(Sim.Jitter.Trace late_jitter)
+             ~jitter_bound:jitter_d (Copa.make ());
+           Sim.Network.flow (Copa.make ());
+         ])
+  in
+  let t0 = duration /. 2. in
+  let x1 = Sim.Network.throughput net ~flow:0 ~t0 ~t1:duration in
+  let x2 = Sim.Network.throughput net ~flow:1 ~t0 ~t1:duration in
+  Float.max x1 x2 /. Float.max (Float.min x1 x2) 1.
+
+let sweep ?(quick = false) () =
+  let duration = if quick then 20. else 40. in
+  let multipliers =
+    if quick then [ 0.25; 1.; 4.; 8. ] else [ 0.25; 0.5; 1.; 2.; 3.; 4.; 6.; 8. ]
+  in
+  List.map
+    (fun m ->
+      let jitter_d = m *. delta_max in
+      {
+        jitter = jitter_d;
+        jitter_over_delta = m;
+        ratio = measure_ratio ~jitter_d ~duration;
+      })
+    multipliers
+
+let run ?(quick = false) () =
+  let points = sweep ~quick () in
+  let at m =
+    match List.find_opt (fun p -> Sim.Units.feq p.jitter_over_delta m) points with
+    | Some p -> p.ratio
+    | None -> nan
+  in
+  let low = at 0.25 and high = at 8. in
+  let curve =
+    String.concat ", "
+      (List.map
+         (fun p -> Printf.sprintf "D=%.1f*delta:%.1f" p.jitter_over_delta p.ratio)
+         points)
+  in
+  [
+    Report.row ~id:"E14" ~label:"starvation ratio vs jitter (copa, D in units of delta_max)"
+      ~paper:"Theorem 1 boundary: starvation constructible once D > 2 delta_max"
+      ~measured:curve
+      ~ok:(low < 2. && high > 4. && high > 2. *. low);
+  ]

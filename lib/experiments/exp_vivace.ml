@@ -1,0 +1,21 @@
+let run ?(quick = false) () =
+  let rate = Sim.Units.mbps 120. in
+  let duration = if quick then 20. else 60. in
+  let net =
+    Sim.Network.run_config
+      (Sim.Network.config ~rate:(Sim.Link.Constant rate) ~rm:0.06 ~duration
+         [
+           Sim.Network.flow ~ack_policy:(Sim.Network.Aggregate { period = 0.06 })
+             (Pcc_vivace.make ~params:{ Pcc_vivace.default_params with seed = 3 } ());
+           Sim.Network.flow (Pcc_vivace.make ());
+         ])
+  in
+  let t0 = duration /. 6. in
+  let x1 = Sim.Network.throughput net ~flow:0 ~t0 ~t1:duration in
+  let x2 = Sim.Network.throughput net ~flow:1 ~t0 ~t1:duration in
+  [
+    Report.row ~id:"E5" ~label:"vivace 2-flow, flow1 ACKs on 60 ms grid"
+      ~paper:"9.9 vs 99.4 Mbit/s (~10:1)"
+      ~measured:(Printf.sprintf "%s vs %s" (Report.mbps x1) (Report.mbps x2))
+      ~ok:(x2 /. Float.max x1 1. > 5.);
+  ]

@@ -1,0 +1,8 @@
+(** §5.3 PCC Vivace ACK-aggregation experiment (E5).
+
+    Two Vivace flows share 120 Mbit/s with Rm = 60 ms; flow 1's ACKs are
+    released only at integer multiples of 60 ms (link-layer aggregation),
+    destroying its sub-quantum delay-gradient and throughput measurements.
+    Paper: 9.9 vs 99.4 Mbit/s. *)
+
+val run : ?quick:bool -> unit -> Report.row list

@@ -1,0 +1,11 @@
+(** CSV export of the figure series, for external plotting. *)
+
+val write_csv : path:string -> cols:string list -> float list list -> unit
+(** Write a header row and one line per sample. *)
+
+val series_to_rows : ?stride:int -> Sim.Series.t -> float list list
+(** (time, value) rows, optionally keeping every [stride]-th sample. *)
+
+val figures : dir:string -> quick:bool -> string list
+(** Regenerate every figure's data and write one CSV per series under
+    [dir] (created if missing).  Returns the paths written. *)

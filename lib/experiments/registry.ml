@@ -1,0 +1,51 @@
+type experiment = {
+  key : string;
+  title : string;
+  run : quick:bool -> Report.row list;
+}
+
+let all =
+  [
+    { key = "fig1"; title = "Figure 1: ideal-path delay convergence";
+      run = (fun ~quick -> Exp_fig1.run ~quick ()) };
+    { key = "fig3"; title = "Figures 2-3: rate-delay maps";
+      run = (fun ~quick -> Exp_fig3.run ~quick ()) };
+    { key = "copa"; title = "E1-E2: Copa min-RTT poisoning (sec. 5.1)";
+      run = (fun ~quick -> Exp_copa.run ~quick ()) };
+    { key = "bbr"; title = "E3-E4: BBR starvation and +alpha ablation (sec. 5.2)";
+      run = (fun ~quick -> Exp_bbr.run ~quick ()) };
+    { key = "vivace"; title = "E5: PCC Vivace ACK aggregation (sec. 5.3)";
+      run = (fun ~quick -> Exp_vivace.run ~quick ()) };
+    { key = "fig7"; title = "Figure 7: Reno/Cubic delayed-ACK unfairness";
+      run = (fun ~quick -> Exp_fig7.run ~quick ()) };
+    { key = "allegro"; title = "E6: PCC Allegro random loss (sec. 5.4)";
+      run = (fun ~quick -> Exp_allegro.run ~quick ()) };
+    { key = "theorem1"; title = "E7 + Figures 4-6: Theorem 1 construction";
+      run = (fun ~quick -> Exp_theorem1.run ~quick ()) };
+    { key = "theorem2"; title = "E8-E9: Theorems 2-3 constructions";
+      run = (fun ~quick -> Exp_theorem2.run ~quick ()) };
+    { key = "alg1"; title = "E10-E11: Algorithm 1 and the figure of merit (sec. 6.3)";
+      run = (fun ~quick -> Exp_alg1.run ~quick ()) };
+    { key = "ccac"; title = "E12: bounded model checking (appendix C)";
+      run = (fun ~quick -> Exp_ccac.run ~quick ()) };
+    { key = "ecn"; title = "E13: explicit signaling avoids starvation (sec. 6.4)";
+      run = (fun ~quick -> Exp_ecn.run ~quick ()) };
+    { key = "threshold"; title = "E14: starvation ratio vs jitter (the Theorem 1 boundary)";
+      run = (fun ~quick -> Exp_threshold.run ~quick ()) };
+    { key = "isolation"; title = "E15: DRR isolation vs the shared FIFO (conclusion)";
+      run = (fun ~quick -> Exp_isolation.run ~quick ()) };
+    { key = "robustness"; title = "E16: seed robustness of the headline ratios";
+      run = (fun ~quick -> Exp_robustness.run ~quick ()) };
+    { key = "matrix"; title = "E17: cross-CCA summary matrix";
+      run = (fun ~quick -> Exp_matrix.run ~quick ()) };
+  ]
+
+let find key = List.find_opt (fun e -> e.key = key) all
+
+let run_all ?(quick = false) () =
+  List.concat_map
+    (fun e ->
+      let rows = e.run ~quick in
+      Report.print_rows ~title:e.title rows;
+      rows)
+    all

@@ -1,0 +1,15 @@
+(** All experiments, keyed by the names the CLI and benchmark harness use. *)
+
+type experiment = {
+  key : string;  (** CLI name, e.g. "copa" *)
+  title : string;
+  run : quick:bool -> Report.row list;
+}
+
+val all : experiment list
+
+val find : string -> experiment option
+
+val run_all : ?quick:bool -> unit -> Report.row list
+(** Run every experiment, printing each table as it completes; returns the
+    concatenated rows. *)

@@ -1,0 +1,52 @@
+type row = {
+  id : string;
+  label : string;
+  paper : string;
+  measured : string;
+  ok : bool;
+}
+
+let row ~id ~label ~paper ~measured ~ok = { id; label; paper; measured; ok }
+
+let pad s n = if String.length s >= n then s else s ^ String.make (n - String.length s) ' '
+
+let print_rows ~title rows =
+  let w_id = List.fold_left (fun a r -> max a (String.length r.id)) 2 rows in
+  let w_label = List.fold_left (fun a r -> max a (String.length r.label)) 5 rows in
+  let w_paper = List.fold_left (fun a r -> max a (String.length r.paper)) 5 rows in
+  let w_meas = List.fold_left (fun a r -> max a (String.length r.measured)) 8 rows in
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%s  %s  %s  %s  %s\n" (pad "id" w_id) (pad "case" w_label)
+    (pad "paper" w_paper) (pad "measured" w_meas) "ok";
+  List.iter
+    (fun r ->
+      Printf.printf "%s  %s  %s  %s  %s\n" (pad r.id w_id) (pad r.label w_label)
+        (pad r.paper w_paper) (pad r.measured w_meas)
+        (if r.ok then "yes" else "NO"))
+    rows
+
+let print_series ~title ~cols data =
+  Printf.printf "\n-- %s --\n" title;
+  Printf.printf "%s\n" (String.concat "\t" cols);
+  List.iter
+    (fun values ->
+      Printf.printf "%s\n" (String.concat "\t" (List.map (Printf.sprintf "%.6g") values)))
+    data
+
+let to_markdown ~title rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "## %s\n\n" title);
+  Buffer.add_string buf "| id | case | paper | measured | shape holds |\n";
+  Buffer.add_string buf "|---|---|---|---|---|\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %s | %s | %s | %s |\n" r.id r.label r.paper
+           r.measured
+           (if r.ok then "yes" else "**NO**")))
+    rows;
+  Buffer.contents buf
+
+let mbps x = Printf.sprintf "%.2f Mbit/s" (Sim.Units.to_mbps x)
+let msec x = Printf.sprintf "%.2f ms" (Sim.Units.to_ms x)
+let all_ok rows = List.for_all (fun r -> r.ok) rows

@@ -1,0 +1,134 @@
+type verdict = Pass | Mark
+
+type red_state = {
+  wq : float;
+  max_p : float;
+  min_th : float;
+  max_th : float;
+  rng : Rng.t;
+  mutable avg : float;
+  mutable count : int; (* packets since last mark, for spacing *)
+}
+
+type codel_state = {
+  target : float;
+  interval : float;
+  mutable first_above : float option; (* when sojourn first exceeded target *)
+  mutable marking : bool;
+  mutable next_mark : float;
+  mutable mark_count : int;
+}
+
+type discipline =
+  | Threshold of int
+  | Red of red_state
+  | Codel of codel_state
+
+type t = { discipline : discipline; mutable marks : int }
+
+let threshold ~mark_above = { discipline = Threshold mark_above; marks = 0 }
+
+let red ?(wq = 0.002) ?(max_p = 0.1) ~min_th ~max_th ~rng () =
+  if max_th <= min_th then invalid_arg "Aqm.red: max_th must exceed min_th";
+  {
+    discipline =
+      Red
+        {
+          wq;
+          max_p;
+          min_th = float_of_int min_th;
+          max_th = float_of_int max_th;
+          rng;
+          avg = 0.;
+          count = 0;
+        };
+    marks = 0;
+  }
+
+let codel ?(target = 0.005) ?(interval = 0.1) () =
+  {
+    discipline =
+      Codel
+        {
+          target;
+          interval;
+          first_above = None;
+          marking = false;
+          next_mark = 0.;
+          mark_count = 0;
+        };
+    marks = 0;
+  }
+
+let register t v =
+  (match v with Mark -> t.marks <- t.marks + 1 | Pass -> ());
+  v
+
+let on_enqueue t ~now ~queue_bytes =
+  ignore now;
+  match t.discipline with
+  | Threshold mark_above ->
+      register t (if queue_bytes > mark_above then Mark else Pass)
+  | Red s ->
+      s.avg <- ((1. -. s.wq) *. s.avg) +. (s.wq *. float_of_int queue_bytes);
+      if s.avg < s.min_th then begin
+        s.count <- 0;
+        register t Pass
+      end
+      else if s.avg >= s.max_th then begin
+        s.count <- 0;
+        register t Mark
+      end
+      else begin
+        let pb = s.max_p *. (s.avg -. s.min_th) /. (s.max_th -. s.min_th) in
+        (* Spacing correction from the RED paper: pa = pb / (1 - count*pb). *)
+        let denom = 1. -. (float_of_int s.count *. pb) in
+        let pa = if denom <= 0. then 1. else pb /. denom in
+        if Rng.bool s.rng ~p:pa then begin
+          s.count <- 0;
+          register t Mark
+        end
+        else begin
+          s.count <- s.count + 1;
+          register t Pass
+        end
+      end
+  | Codel _ -> Pass
+
+let codel_control_law s now =
+  s.next_mark <-
+    now +. (s.interval /. sqrt (float_of_int (max s.mark_count 1)))
+
+let on_dequeue t ~now ~sojourn =
+  match t.discipline with
+  | Threshold _ | Red _ -> Pass
+  | Codel s ->
+      if sojourn < s.target then begin
+        s.first_above <- None;
+        s.marking <- false;
+        register t Pass
+      end
+      else begin
+        match s.first_above with
+        | None ->
+            s.first_above <- Some now;
+            register t Pass
+        | Some t0 ->
+            if not s.marking then begin
+              if now -. t0 >= s.interval then begin
+                s.marking <- true;
+                s.mark_count <- 1;
+                codel_control_law s now;
+                register t Mark
+              end
+              else register t Pass
+            end
+            else if now >= s.next_mark then begin
+              s.mark_count <- s.mark_count + 1;
+              codel_control_law s now;
+              register t Mark
+            end
+            else register t Pass
+      end
+
+let marks t = t.marks

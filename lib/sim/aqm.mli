@@ -1,0 +1,47 @@
+(** Active queue management for the bottleneck (paper §6.4).
+
+    The paper conjectures that AQM + ECN-reacting CCAs prevent starvation,
+    and points past its simple threshold heuristic to RED and
+    CoDel/PIE-style schemes.  Three disciplines are provided:
+
+    - [Threshold]: mark every arrival that finds more than [mark_above]
+      bytes queued (the paper's own example);
+    - [Red]: Random Early Detection (Floyd & Jacobson 1993) over an EWMA
+      of the queue depth, with the standard gentle linear mark probability
+      between [min_th] and [max_th];
+    - [Codel]: Controlled Delay (Nichols & Jacobson) on dequeue sojourn
+      times — marks when the standing delay exceeds [target] for at least
+      [interval], at the sqrt control-law spacing.
+
+    All three are used in marking mode (ECN): the verdict says whether to
+    set CE on the packet.  Dropping variants are what classic RED does for
+    non-ECN flows; the experiments here pair AQM with ECN-capable CCAs as
+    §6.4 prescribes, so marking is the behavior under study. *)
+
+type verdict = Pass | Mark
+
+type t
+
+val threshold : mark_above:int -> t
+(** Mark arrivals that see more than [mark_above] bytes queued. *)
+
+val red :
+  ?wq:float -> ?max_p:float -> min_th:int -> max_th:int -> rng:Rng.t -> unit -> t
+(** RED: EWMA weight [wq] (default 0.002), max mark probability [max_p]
+    (default 0.1) reached at [max_th] bytes of average queue; above
+    [max_th] every packet is marked. *)
+
+val codel : ?target:float -> ?interval:float -> unit -> t
+(** CoDel: mark when the dequeue sojourn time stays above [target]
+    (default 5 ms) for a full [interval] (default 100 ms); successive
+    marks accelerate by the inverse-sqrt law. *)
+
+val on_enqueue : t -> now:float -> queue_bytes:int -> verdict
+(** Consulted when a packet arrives (Threshold, RED).  CoDel passes here. *)
+
+val on_dequeue : t -> now:float -> sojourn:float -> verdict
+(** Consulted when a packet finishes service (CoDel).  Threshold and RED
+    pass here. *)
+
+val marks : t -> int
+(** Total marks issued by this discipline. *)

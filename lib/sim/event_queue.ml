@@ -1,0 +1,44 @@
+type event = { time : float; seq : int; action : unit -> unit }
+
+type t = { heap : event Heap.t; mutable now : float; mutable next_seq : int }
+
+let compare_event a b =
+  match Float.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
+
+let create ?(start = 0.) () =
+  { heap = Heap.create ~cmp:compare_event (); now = start; next_seq = 0 }
+
+let now t = t.now
+
+let schedule t ~at action =
+  if not (Float.is_finite at) then invalid_arg "Event_queue.schedule: non-finite time";
+  if at < t.now then
+    invalid_arg
+      (Printf.sprintf "Event_queue.schedule: time %.9f is before now %.9f" at t.now);
+  Heap.push t.heap { time = at; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1
+
+let schedule_after t ~delay action =
+  schedule t ~at:(t.now +. Float.max 0. delay) action
+
+let pending t = Heap.size t.heap
+
+let step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some ev ->
+      t.now <- ev.time;
+      ev.action ();
+      true
+
+let run_until t horizon =
+  let rec loop () =
+    match Heap.peek t.heap with
+    | Some ev when ev.time <= horizon ->
+        ignore (step t);
+        loop ()
+    | _ -> t.now <- Float.max t.now horizon
+  in
+  loop ()
+
+let run t = while step t do () done

@@ -1,0 +1,36 @@
+(** Deterministic discrete-event scheduler.
+
+    Events are thunks ordered by (time, insertion sequence).  The sequence
+    tiebreak makes simultaneous events run in scheduling order, which keeps
+    every simulation fully deterministic — a requirement for the paper's
+    Theorem 1 construction, where a flow's trajectory must replay exactly. *)
+
+type t
+
+val create : ?start:float -> unit -> t
+(** [start] (default 0) sets the initial clock — used by constructions that
+    continue a flow on a new network sharing the old timeline. *)
+
+val now : t -> float
+(** Current simulation time. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** Schedule a thunk at absolute time [at].
+    @raise Invalid_argument if [at] is in the past or not finite. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> unit
+(** Schedule relative to [now].  Negative delays are clamped to [0.]. *)
+
+val pending : t -> int
+(** Number of events not yet executed. *)
+
+val step : t -> bool
+(** Run the next event.  Returns [false] when the queue is empty. *)
+
+val run_until : t -> float -> unit
+(** Run all events with time <= the horizon, then advance [now] to the
+    horizon.  Events scheduled during execution are honored if they fall
+    within the horizon. *)
+
+val run : t -> unit
+(** Run until the queue is empty.  Diverges if events keep rescheduling. *)

@@ -1,0 +1,359 @@
+type sent_record = { sent_at : float; size : int; delivered_at_send : int }
+
+type t = {
+  id : int;
+  mss : int;
+  cca : Cca.t;
+  eq : Event_queue.t;
+  transmit : Packet.t -> unit;
+  start_time : float;
+  stop_time : float option;
+  min_rto : float;
+  initial_pacing : float option;
+  mutable got_first_ack : bool;
+  outstanding : (int, sent_record) Hashtbl.t;
+  mutable next_seq : int;
+  mutable inflight : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable highest_acked : int; (* largest acked seq; -1 initially *)
+  mutable next_send_time : float;
+  mutable send_event_at : float option;
+  mutable timer_event_at : float option;
+  mutable rto_pending : bool;
+  mutable last_progress : float; (* last time an ACK arrived or a send began *)
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable running : bool;
+  rtt_series : Series.t;
+  cwnd_series : Series.t;
+  delivered_series : Series.t;
+  inspect_tbl : (string, Series.t) Hashtbl.t;
+  mutable inspect_keys : string list; (* insertion order *)
+}
+
+let dupack_threshold = 3
+
+let id t = t.id
+let cca t = t.cca
+let mss t = t.mss
+let delivered_bytes t = t.delivered
+let lost_bytes t = t.lost
+let inflight t = t.inflight
+let rtt_series t = t.rtt_series
+
+let inspect_series t =
+  (* [inspect_keys] is newest-first; report in insertion order. *)
+  List.rev t.inspect_keys
+  |> List.map (fun k -> (k, Hashtbl.find t.inspect_tbl k))
+let cwnd_series t = t.cwnd_series
+let delivered_series t = t.delivered_series
+
+let now t = Event_queue.now t.eq
+
+let stopped t =
+  match t.stop_time with Some st -> now t >= st | None -> false
+
+let rto t = Float.max t.min_rto (t.srtt +. (4. *. t.rttvar))
+
+(* --- CCA timer plumbing ------------------------------------------------- *)
+
+let rec sync_timer t =
+  match t.cca.Cca.next_timer () with
+  | None -> ()
+  | Some want ->
+      let want = Float.max want (now t) in
+      let already = match t.timer_event_at with Some at -> at <= want | None -> false in
+      if not already then begin
+        t.timer_event_at <- Some want;
+        Event_queue.schedule t.eq ~at:want (fun () -> fire_timer t want)
+      end
+
+and fire_timer t scheduled_at =
+  (match t.timer_event_at with
+  | Some at when at = scheduled_at -> t.timer_event_at <- None
+  | _ -> ());
+  let rec drain guard =
+    if guard = 0 then failwith (t.cca.Cca.name ^ ": timer does not advance");
+    match t.cca.Cca.next_timer () with
+    | Some want when want <= now t ->
+        t.cca.Cca.on_timer (now t);
+        drain (guard - 1)
+    | _ -> ()
+  in
+  drain 1000;
+  maybe_send t;
+  sync_timer t
+
+(* --- Sending ------------------------------------------------------------ *)
+
+and send_packet t =
+  let time = now t in
+  let pkt =
+    {
+      Packet.flow = t.id;
+      seq = t.next_seq;
+      size = t.mss;
+      sent_at = time;
+      delivered_at_send = t.delivered;
+      app_limited = false;
+      ce = false;
+    }
+  in
+  t.next_seq <- t.next_seq + 1;
+  Hashtbl.replace t.outstanding pkt.Packet.seq
+    { sent_at = time; size = t.mss; delivered_at_send = t.delivered };
+  t.inflight <- t.inflight + t.mss;
+  t.last_progress <- time;
+  t.cca.Cca.on_send { Cca.now = time; sent_bytes = t.mss; inflight = t.inflight };
+  t.transmit pkt;
+  schedule_rto t
+
+and maybe_send t =
+  if t.running && not (stopped t) then begin
+    let cwnd = t.cca.Cca.cwnd () in
+    if float_of_int t.inflight +. float_of_int t.mss <= cwnd +. 1e-6 then begin
+      let time = now t in
+      if t.next_send_time <= time +. 1e-12 then begin
+        send_packet t;
+        let pacing =
+          match t.cca.Cca.pacing_rate () with
+          | Some r when r > 0. -> Some r
+          | Some _ | None -> if t.got_first_ack then None else t.initial_pacing
+        in
+        (match pacing with
+        | Some r when r > 0. ->
+            t.next_send_time <- Float.max time t.next_send_time +. (float_of_int t.mss /. r)
+        | Some _ | None -> t.next_send_time <- time);
+        maybe_send t
+      end
+      else begin
+        let already =
+          match t.send_event_at with Some at -> at <= t.next_send_time | None -> false
+        in
+        if not already then begin
+          t.send_event_at <- Some t.next_send_time;
+          Event_queue.schedule t.eq ~at:t.next_send_time (fun () ->
+              t.send_event_at <- None;
+              maybe_send t)
+        end
+      end
+    end
+  end
+
+(* --- Retransmission timeout -------------------------------------------- *)
+
+and schedule_rto t =
+  if not t.rto_pending then begin
+    t.rto_pending <- true;
+    let deadline = Float.max (t.last_progress +. rto t) (now t +. 1e-6) in
+    Event_queue.schedule t.eq ~at:deadline (fun () -> check_rto t)
+  end
+
+and check_rto t =
+  t.rto_pending <- false;
+  if t.inflight > 0 then begin
+    if now t -. t.last_progress >= rto t -. 1e-9 then begin
+      (* Timeout: declare everything outstanding lost. *)
+      let lost_bytes = t.inflight in
+      let lost_packets =
+        Hashtbl.fold (fun _ r acc -> (r.sent_at, r.size) :: acc) t.outstanding []
+      in
+      Hashtbl.reset t.outstanding;
+      t.inflight <- 0;
+      t.lost <- t.lost + lost_bytes;
+      t.last_progress <- now t;
+      t.cca.Cca.on_loss
+        { Cca.now = now t; lost_bytes; lost_packets; inflight = 0; kind = `Timeout };
+      sync_timer t;
+      maybe_send t
+    end;
+    if t.inflight > 0 then schedule_rto t
+  end
+
+let sample_inspect t =
+  List.iter
+    (fun (k, v) ->
+      let s =
+        match Hashtbl.find_opt t.inspect_tbl k with
+        | Some s -> s
+        | None ->
+            let s = Series.create ~name:k () in
+            Hashtbl.replace t.inspect_tbl k s;
+            t.inspect_keys <- k :: t.inspect_keys;
+            s
+      in
+      if Float.is_finite v then Series.add s ~time:(now t) v)
+    (t.cca.Cca.inspect ())
+
+let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
+    ?(min_rto = 0.2) ?initial_pacing ?inspect_period ~transmit () =
+  let t =
+    {
+      id;
+      mss;
+      cca;
+      eq;
+      transmit;
+      start_time;
+      stop_time;
+      min_rto;
+      initial_pacing;
+      got_first_ack = false;
+      outstanding = Hashtbl.create 1024;
+      next_seq = 0;
+      inflight = 0;
+      delivered = 0;
+      lost = 0;
+      highest_acked = -1;
+      next_send_time = 0.;
+      send_event_at = None;
+      timer_event_at = None;
+      rto_pending = false;
+      last_progress = start_time;
+      srtt = 0.;
+      rttvar = 0.;
+      running = false;
+      rtt_series = Series.create ~name:(Printf.sprintf "flow%d.rtt" id) ();
+      cwnd_series = Series.create ~name:(Printf.sprintf "flow%d.cwnd" id) ();
+      delivered_series = Series.create ~name:(Printf.sprintf "flow%d.delivered" id) ();
+      inspect_tbl = Hashtbl.create 8;
+      inspect_keys = [];
+    }
+  in
+  Event_queue.schedule eq ~at:start_time (fun () ->
+      t.running <- true;
+      t.next_send_time <- start_time;
+      maybe_send t;
+      sync_timer t);
+  (match inspect_period with
+  | Some period when period > 0. ->
+      let rec sample () =
+        if t.running && not (stopped t) then sample_inspect t;
+        Event_queue.schedule_after eq ~delay:period sample
+      in
+      Event_queue.schedule eq ~at:start_time sample
+  | Some _ | None -> ());
+  t
+
+let update_rtt_estimate t sample =
+  if t.srtt = 0. then begin
+    t.srtt <- sample;
+    t.rttvar <- sample /. 2.
+  end
+  else begin
+    t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. sample));
+    t.srtt <- (0.875 *. t.srtt) +. (0.125 *. sample)
+  end
+
+let detect_losses t =
+  (* Packet-threshold loss detection: anything sent more than
+     [dupack_threshold] packets before the highest acked packet and still
+     outstanding is treated as lost. *)
+  let threshold = t.highest_acked - dupack_threshold in
+  let lost_seqs =
+    Hashtbl.fold (fun seq _ acc -> if seq < threshold then seq :: acc else acc)
+      t.outstanding []
+  in
+  match lost_seqs with
+  | [] -> ()
+  | seqs ->
+      let bytes = ref 0 and lost_packets = ref [] in
+      List.iter
+        (fun seq ->
+          match Hashtbl.find_opt t.outstanding seq with
+          | Some r ->
+              Hashtbl.remove t.outstanding seq;
+              bytes := !bytes + r.size;
+              lost_packets := (r.sent_at, r.size) :: !lost_packets
+          | None -> ())
+        seqs;
+      t.inflight <- t.inflight - !bytes;
+      t.lost <- t.lost + !bytes;
+      t.cca.Cca.on_loss
+        {
+          Cca.now = now t;
+          lost_bytes = !bytes;
+          lost_packets = !lost_packets;
+          inflight = t.inflight;
+          kind = `Dupack;
+        }
+
+let receive_ack t (deliveries : Packet.delivery list) =
+  match deliveries with
+  | [] -> ()
+  | _ ->
+      let time = now t in
+      let newest =
+        List.fold_left
+          (fun acc (d : Packet.delivery) ->
+            if d.packet.Packet.sent_at >= acc.Packet.sent_at then d.packet else acc)
+          (List.hd deliveries).packet deliveries
+      in
+      let acked_bytes = ref 0 in
+      let any_ce = ref false in
+      List.iter
+        (fun (d : Packet.delivery) ->
+          let p = d.Packet.packet in
+          match Hashtbl.find_opt t.outstanding p.Packet.seq with
+          | Some r ->
+              Hashtbl.remove t.outstanding p.Packet.seq;
+              t.inflight <- t.inflight - r.size;
+              acked_bytes := !acked_bytes + r.size;
+              if p.Packet.ce then any_ce := true;
+              if p.Packet.seq > t.highest_acked then t.highest_acked <- p.Packet.seq
+          | None -> (* already declared lost; ignore the late ACK *) ())
+        deliveries;
+      if !acked_bytes > 0 then begin
+        t.got_first_ack <- true;
+        t.delivered <- t.delivered + !acked_bytes;
+        t.last_progress <- time;
+        let rtt = time -. newest.Packet.sent_at in
+        update_rtt_estimate t rtt;
+        let info =
+          {
+            Cca.now = time;
+            rtt;
+            acked_bytes = !acked_bytes;
+            sent_time = newest.Packet.sent_at;
+            delivered = newest.Packet.delivered_at_send;
+            delivered_now = t.delivered;
+            inflight = t.inflight;
+            app_limited = newest.Packet.app_limited;
+            ecn_ce = !any_ce;
+          }
+        in
+        t.cca.Cca.on_ack info;
+        Series.add t.rtt_series ~time rtt;
+        Series.add t.cwnd_series ~time (t.cca.Cca.cwnd ());
+        Series.add t.delivered_series ~time (float_of_int t.delivered);
+        detect_losses t;
+        sync_timer t;
+        maybe_send t
+      end
+
+let throughput t ~t0 ~t1 =
+  if t1 <= t0 then 0.
+  else begin
+    let at q =
+      match Series.value_at t.delivered_series q with Some v -> v | None -> 0.
+    in
+    (at t1 -. at t0) /. (t1 -. t0)
+  end
+
+let rate_series t ~window =
+  let out = Series.create ~name:(Printf.sprintf "flow%d.rate" t.id) () in
+  let times = Series.times t.delivered_series in
+  let values = Series.values t.delivered_series in
+  let n = Array.length times in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    let t1 = times.(i) in
+    let t0 = t1 -. window in
+    while !j < n && times.(!j) < t0 do incr j done;
+    if !j < i then begin
+      let dt = t1 -. times.(!j) in
+      if dt > 0. then Series.add out ~time:t1 ((values.(i) -. values.(!j)) /. dt)
+    end
+  done;
+  out

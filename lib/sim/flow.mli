@@ -1,0 +1,76 @@
+(** Sender endpoint: drives a {!Cca.t} against the simulated network.
+
+    The flow sends fixed-size segments subject to the CCA's congestion
+    window and pacing rate, detects losses by a packet-reordering threshold
+    (3, the dup-ACK analogue) plus a retransmission timeout, feeds every
+    event to the CCA, and records the traces the analysis layer consumes.
+
+    Data is modeled as an infinite byte stream: a "lost" segment is not
+    retransmitted, the sender just keeps sending new segments, and
+    throughput is measured as acknowledged bytes over time.  This is the
+    standard fluid abstraction and matches the paper's throughput
+    definition (§4.2: bytes acknowledged in [0, t] divided by t). *)
+
+type t
+
+val create :
+  eq:Event_queue.t ->
+  id:int ->
+  cca:Cca.t ->
+  ?mss:int ->
+  ?start_time:float ->
+  ?stop_time:float ->
+  ?min_rto:float ->
+  ?initial_pacing:float ->
+  ?inspect_period:float ->
+  transmit:(Packet.t -> unit) ->
+  unit ->
+  t
+(** The flow schedules its own start at [start_time] (default 0) and stops
+    sending new segments at [stop_time].  [transmit] injects a packet into
+    the network.  [min_rto] defaults to 200 ms.
+
+    [initial_pacing] (bytes/s) spreads the opening window over time instead
+    of dumping it as a line-rate burst: it paces sends until the first ACK
+    arrives, after which the CCA's own pacing (or lack of it) governs.  The
+    Theorem 1 construction uses this to hand a converged CCA instance to a
+    new network without a queue-spike transient, matching the fluid model's
+    initial conditions. *)
+
+val id : t -> int
+val cca : t -> Cca.t
+val mss : t -> int
+
+val receive_ack : t -> Packet.delivery list -> unit
+(** Deliver a batch of ACKed packets (oldest first) at the current
+    simulation time.  A batch of size > 1 models a coalesced delayed ACK:
+    the CCA sees a single [on_ack] whose [acked_bytes] covers the batch and
+    whose RTT is sampled from the newest packet. *)
+
+val delivered_bytes : t -> int
+(** Cumulative bytes acknowledged. *)
+
+val lost_bytes : t -> int
+val inflight : t -> int
+
+val throughput : t -> t0:float -> t1:float -> float
+(** Mean delivery rate (bytes/s) over the interval, from the cumulative
+    delivered-bytes trace. *)
+
+val rtt_series : t -> Series.t
+(** (ack time, RTT sample). *)
+
+val cwnd_series : t -> Series.t
+(** (ack time, cwnd bytes). *)
+
+val delivered_series : t -> Series.t
+(** (ack time, cumulative delivered bytes). *)
+
+val rate_series : t -> window:float -> Series.t
+(** Delivery rate (bytes/s) computed over trailing windows of the delivered
+    trace — the "sending rate" series plotted in the paper's figures. *)
+
+val inspect_series : t -> (string * Series.t) list
+(** The CCA's {!Cca.t.inspect} internals sampled every [inspect_period]
+    seconds (empty unless that option was given to {!create}) — e.g.
+    BBR's bandwidth estimate or Copa's velocity over time. *)

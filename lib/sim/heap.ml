@@ -1,0 +1,78 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array; (* [||] when empty; filler beyond [size] *)
+  mutable size : int;
+  capacity_hint : int;
+}
+
+let create ?(capacity = 16) ~cmp () =
+  { cmp; data = [||]; size = 0; capacity_hint = max capacity 1 }
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+let ensure_room t filler =
+  if Array.length t.data = 0 then t.data <- Array.make t.capacity_hint filler
+  else if t.size = Array.length t.data then begin
+    let data = Array.make (2 * Array.length t.data) filler in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t x =
+  ensure_room t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let root = t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    (* Leave the slot holding a duplicate; it is beyond [size] and will be
+       overwritten by the next push.  Avoids needing a dummy element. *)
+    if t.size > 0 then sift_down t 0;
+    Some root
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear t = t.size <- 0
+
+let to_sorted_list t =
+  let copy = { t with data = Array.copy t.data } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []

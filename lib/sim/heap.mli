@@ -1,0 +1,31 @@
+(** Array-backed binary min-heap, polymorphic in the element type.
+
+    The ordering is supplied at creation time.  Used by the event scheduler
+    and by several analysis routines; kept separate so it can be property
+    tested in isolation. *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** Fresh empty heap.  [cmp] must be a total order; the minimum element
+    (per [cmp]) is served first. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** O(log n). *)
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it.  O(1). *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element.  O(log n). *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains a copy of the heap; the heap itself is unchanged.  O(n log n). *)

@@ -1,0 +1,55 @@
+type request = { flow : int; arrival : float; sent : float }
+
+type policy =
+  | No_jitter
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Trace of (float -> float)
+  | Controller of (request -> float)
+
+type t = {
+  policy : policy;
+  bound : float;
+  rng : Rng.t;
+  mutable last_release : float;
+  mutable violations : int;
+  mutable max_requested : float;
+  mutable worst_excess : float;
+}
+
+let create ?(bound = infinity) ~rng policy =
+  {
+    policy;
+    bound;
+    rng;
+    last_release = neg_infinity;
+    violations = 0;
+    max_requested = 0.;
+    worst_excess = 0.;
+  }
+
+let raw_delay t req =
+  match t.policy with
+  | No_jitter -> 0.
+  | Constant d -> d
+  | Uniform { lo; hi } -> Rng.uniform t.rng ~lo ~hi
+  | Trace f -> f req.arrival
+  | Controller f -> f req
+
+let release_time t req =
+  let d = raw_delay t req in
+  if d > t.max_requested then t.max_requested <- d;
+  let clamped = Float.max 0. (Float.min d t.bound) in
+  if d < -1e-9 || d > t.bound +. 1e-9 then begin
+    t.violations <- t.violations + 1;
+    let excess = Float.max (-.d) (d -. t.bound) in
+    if excess > t.worst_excess then t.worst_excess <- excess
+  end;
+  let release = Float.max (req.arrival +. clamped) t.last_release in
+  t.last_release <- release;
+  release
+
+let bound t = t.bound
+let violations t = t.violations
+let max_requested t = t.max_requested
+let worst_excess t = t.worst_excess

@@ -1,0 +1,347 @@
+type rate =
+  | Constant of float
+  | Piecewise of (float * float) array
+  | Opportunities of { times : float array; period : float; bytes : int }
+
+type discipline = Fifo | Drr of { quantum : int }
+
+let rate_at spec time =
+  match spec with
+  | Constant r -> r
+  | Opportunities { times; period; bytes } ->
+      ignore time;
+      if period <= 0. then invalid_arg "Link.rate_at: non-positive period"
+      else float_of_int (Array.length times * bytes) /. period
+  | Piecewise segs ->
+      if Array.length segs = 0 then invalid_arg "Link.rate_at: empty piecewise rate";
+      let rec search lo hi =
+        (* Largest i with segs.(i) start <= time, or 0. *)
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi + 1) / 2 in
+          if fst segs.(mid) <= time then search mid hi else search lo (mid - 1)
+      in
+      let i = if time < fst segs.(0) then 0 else search 0 (Array.length segs - 1) in
+      snd segs.(i)
+
+(* First opportunity strictly after [start] in a cyclic trace. *)
+let next_opportunity ~times ~period start =
+  let n = Array.length times in
+  if n = 0 || period <= 0. then infinity
+  else begin
+    let cycle = Float.floor (start /. period) in
+    let base = cycle *. period in
+    let offset = start -. base in
+    (* Binary search for the first trace time strictly greater. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if times.(mid) > offset then search lo mid else search (mid + 1) hi
+    in
+    let at i =
+      (* Index beyond this cycle wraps into the next one. *)
+      let k = i / n and j = i mod n in
+      base +. (float_of_int k *. period) +. times.(j)
+    in
+    (* [base +. times.(i)] can round back onto [start] when base is large;
+       skip forward until the result strictly advances, or the link serves
+       its whole backlog in zero time. *)
+    let rec first_after i = if at i > start then at i else first_after (i + 1) in
+    first_after (search 0 n)
+  end
+
+let transmit_end spec ~start ~bytes =
+  let bytes = float_of_int bytes in
+  match spec with
+  | Constant r -> if r <= 0. then infinity else start +. (bytes /. r)
+  | Opportunities { times; period; bytes = _ } -> next_opportunity ~times ~period start
+  | Piecewise segs ->
+      let n = Array.length segs in
+      if n = 0 then invalid_arg "Link.transmit_end: empty piecewise rate";
+      let rec go i t remaining =
+        if remaining <= 0. then t
+        else if i >= n then
+          (* Last segment extends forever. *)
+          let r = snd segs.(n - 1) in
+          if r <= 0. then infinity else t +. (remaining /. r)
+        else begin
+          let seg_start = fst segs.(i) and r = if i = 0 then snd segs.(0) else snd segs.(i - 1) in
+          if t >= seg_start then go (i + 1) t remaining
+          else if r <= 0. then go (i + 1) seg_start remaining
+          else begin
+            let capacity = r *. (seg_start -. t) in
+            if capacity >= remaining then t +. (remaining /. r)
+            else go (i + 1) seg_start (remaining -. capacity)
+          end
+        end
+      in
+      (* Find the first breakpoint after [start]. *)
+      let rec first_after i = if i < n && fst segs.(i) <= start then first_after (i + 1) else i in
+      go (first_after 0) start bytes
+
+(* Scheduler internals: one shared FIFO, or per-flow queues served
+   deficit-round-robin. *)
+type sched =
+  | Sfifo of (Packet.t * float) Queue.t
+  | Sdrr of {
+      queues : (int, (Packet.t * float) Queue.t) Hashtbl.t;
+      round : int Queue.t; (* flows with backlog, in round order *)
+      in_round : (int, unit) Hashtbl.t;
+      deficits : (int, int) Hashtbl.t;
+      quantum : int;
+    }
+
+let sched_of_discipline = function
+  | Fifo -> Sfifo (Queue.create ())
+  | Drr { quantum } ->
+      if quantum <= 0 then invalid_arg "Link: DRR quantum must be positive";
+      Sdrr
+        {
+          queues = Hashtbl.create 8;
+          round = Queue.create ();
+          in_round = Hashtbl.create 8;
+          deficits = Hashtbl.create 8;
+          quantum;
+        }
+
+let sched_push sched pkt enq_time =
+  match sched with
+  | Sfifo q -> Queue.push (pkt, enq_time) q
+  | Sdrr d ->
+      let f = pkt.Packet.flow in
+      let q =
+        match Hashtbl.find_opt d.queues f with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.replace d.queues f q;
+            q
+      in
+      Queue.push (pkt, enq_time) q;
+      if not (Hashtbl.mem d.in_round f) then begin
+        Hashtbl.replace d.in_round f ();
+        Queue.push f d.round
+      end
+
+let rec sched_pop sched =
+  match sched with
+  | Sfifo q -> Queue.take_opt q
+  | Sdrr d -> begin
+      match Queue.peek_opt d.round with
+      | None -> None
+      | Some f -> begin
+          let q = Hashtbl.find d.queues f in
+          if Queue.is_empty q then begin
+            ignore (Queue.pop d.round);
+            Hashtbl.remove d.in_round f;
+            Hashtbl.replace d.deficits f 0;
+            sched_pop sched
+          end
+          else begin
+            let pkt, _ = Queue.peek q in
+            let deficit =
+              match Hashtbl.find_opt d.deficits f with Some v -> v | None -> 0
+            in
+            if deficit >= pkt.Packet.size then begin
+              Hashtbl.replace d.deficits f (deficit - pkt.Packet.size);
+              Some (Queue.pop q)
+            end
+            else begin
+              (* End of this flow's turn: top up and rotate. *)
+              Hashtbl.replace d.deficits f (deficit + d.quantum);
+              ignore (Queue.pop d.round);
+              Queue.push f d.round;
+              sched_pop sched
+            end
+          end
+        end
+    end
+
+let load_mahimahi_trace ?(bytes = 1500) path =
+  let ic = open_in path in
+  let entries = ref [] in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = String.trim (input_line ic) in
+          if line <> "" && line.[0] <> '#' then begin
+            match int_of_string_opt line with
+            | Some ms when ms >= 0 -> entries := ms :: !entries
+            | Some _ | None ->
+                invalid_arg
+                  (Printf.sprintf "Link.load_mahimahi_trace: bad line %S" line)
+          end
+        done
+      with End_of_file -> ());
+  match List.rev !entries with
+  | [] -> invalid_arg "Link.load_mahimahi_trace: empty trace"
+  | ms_list ->
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a <= b && sorted rest
+        | _ -> true
+      in
+      if not (sorted ms_list) then
+        invalid_arg "Link.load_mahimahi_trace: timestamps must be non-decreasing";
+      let last = List.nth ms_list (List.length ms_list - 1) in
+      (* Mahimahi semantics: the trace loops with period = last timestamp;
+         an opportunity exactly at the period belongs to the next cycle's
+         origin, so clamp it just inside. *)
+      let period = Float.max (float_of_int last /. 1000.) 0.001 in
+      let times =
+        Array.of_list
+          (List.map
+             (fun ms -> Float.min (float_of_int ms /. 1000.) (period -. 1e-9))
+             ms_list)
+      in
+      Opportunities { times; period; bytes }
+
+let cellular_trace ~rng ~period ?(bytes = 1500) ~mean_rate ~burstiness () =
+  if burstiness < 1. then invalid_arg "Link.cellular_trace: burstiness must be >= 1";
+  let n_opportunities =
+    int_of_float (Float.round (mean_rate *. period /. float_of_int bytes))
+  in
+  (* Alternate fast/slow regimes with random dwell times; opportunity
+     spacing within a regime is 1/(regime rate). *)
+  let fast = 2. *. burstiness /. (1. +. burstiness) in
+  let slow = 2. /. (1. +. burstiness) in
+  let base_spacing = period /. float_of_int (max n_opportunities 1) in
+  let times = ref [] in
+  let t = ref 0. in
+  let in_fast = ref true in
+  let regime_left = ref 0. in
+  while !t < period do
+    if !regime_left <= 0. then begin
+      in_fast := not !in_fast;
+      regime_left := Rng.uniform rng ~lo:(0.05 *. period) ~hi:(0.2 *. period)
+    end;
+    let spacing = base_spacing /. (if !in_fast then fast else slow) in
+    times := !t :: !times;
+    t := !t +. spacing;
+    regime_left := !regime_left -. spacing
+  done;
+  Opportunities { times = Array.of_list (List.rev !times); period; bytes }
+
+type t = {
+  eq : Event_queue.t;
+  rate : rate;
+  buffer : int option;
+  aqm : Aqm.t option;
+  sched : sched;
+  mutable on_dequeue : Packet.t -> unit;
+  mutable queued_bytes : int;
+  mutable busy : bool;
+  mutable drops : int;
+  mutable ce_marks : int;
+  mutable delivered_bytes : int;
+  record_queue : bool;
+  queue_series : Series.t;
+}
+
+let create ~eq ~rate ?buffer ?ecn_threshold ?aqm ?(discipline = Fifo) ~record_queue
+    () =
+  let aqm =
+    match (aqm, ecn_threshold) with
+    | Some _, Some _ ->
+        invalid_arg "Link.create: give either ecn_threshold or aqm, not both"
+    | Some a, None -> Some a
+    | None, Some th -> Some (Aqm.threshold ~mark_above:th)
+    | None, None -> None
+  in
+  {
+    eq;
+    rate;
+    buffer;
+    aqm;
+    sched = sched_of_discipline discipline;
+    on_dequeue = (fun _ -> invalid_arg "Link: on_dequeue not set");
+    queued_bytes = 0;
+    busy = false;
+    drops = 0;
+    ce_marks = 0;
+    delivered_bytes = 0;
+    record_queue;
+    queue_series = Series.create ~name:"queue_bytes" ();
+  }
+
+let set_on_dequeue t f = t.on_dequeue <- f
+
+let record t =
+  if t.record_queue then
+    Series.add t.queue_series ~time:(Event_queue.now t.eq) (float_of_int t.queued_bytes)
+
+let mark t pkt =
+  if not pkt.Packet.ce then begin
+    pkt.Packet.ce <- true;
+    t.ce_marks <- t.ce_marks + 1
+  end
+
+let rec start_service t =
+  if not t.busy then begin
+    match sched_pop t.sched with
+    | None -> ()
+    | Some (served, enqueued_at) ->
+        let now = Event_queue.now t.eq in
+        let finish = transmit_end t.rate ~start:now ~bytes:served.Packet.size in
+        if Float.is_finite finish then begin
+          t.busy <- true;
+          Event_queue.schedule t.eq ~at:finish (fun () ->
+              t.queued_bytes <- t.queued_bytes - served.Packet.size;
+              t.delivered_bytes <- t.delivered_bytes + served.Packet.size;
+              t.busy <- false;
+              let now = Event_queue.now t.eq in
+              (match t.aqm with
+              | Some aqm -> begin
+                  match Aqm.on_dequeue aqm ~now ~sojourn:(now -. enqueued_at) with
+                  | Aqm.Mark -> mark t served
+                  | Aqm.Pass -> ()
+                end
+              | None -> ());
+              record t;
+              t.on_dequeue served;
+              start_service t)
+        end
+        else
+          (* Rate trace carries no more bytes: the link is dead; put the
+             packet back at the head (FIFO) or its flow queue (DRR). *)
+          sched_push t.sched served enqueued_at
+  end
+
+let enqueue t pkt =
+  let fits =
+    match t.buffer with
+    | None -> true
+    | Some cap -> t.queued_bytes + pkt.Packet.size <= cap
+  in
+  if not fits then begin
+    t.drops <- t.drops + 1;
+    `Dropped
+  end
+  else begin
+    let now = Event_queue.now t.eq in
+    (match t.aqm with
+    | Some aqm -> begin
+        match Aqm.on_enqueue aqm ~now ~queue_bytes:t.queued_bytes with
+        | Aqm.Mark -> mark t pkt
+        | Aqm.Pass -> ()
+      end
+    | None -> ());
+    sched_push t.sched pkt now;
+    t.queued_bytes <- t.queued_bytes + pkt.Packet.size;
+    record t;
+    start_service t;
+    `Enqueued
+  end
+
+let queued_bytes t = t.queued_bytes
+
+let queue_delay t =
+  let r = rate_at t.rate (Event_queue.now t.eq) in
+  if r <= 0. then infinity else float_of_int t.queued_bytes /. r
+
+let drops t = t.drops
+let ce_marks t = t.ce_marks
+let delivered_bytes t = t.delivered_bytes
+let queue_series t = t.queue_series

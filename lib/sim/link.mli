@@ -1,0 +1,88 @@
+(** Constant- or variable-rate FIFO bottleneck with a drop-tail buffer.
+
+    Packets are served in arrival order at the link rate; a packet occupies
+    the buffer from enqueue until its transmission completes.  The
+    time-varying rate form implements the paper's "strong model" (§6.5)
+    where an adversary may vary the link rate arbitrarily. *)
+
+(** Service rate specification, bytes/s. *)
+type rate =
+  | Constant of float
+  | Piecewise of (float * float) array
+      (** [(t_i, r_i)] sorted by [t_i]; rate [r_i] applies from [t_i] until
+          the next breakpoint.  [r_0] also applies before [t_0].  Rates may
+          be 0 (the link pauses). *)
+  | Opportunities of { times : float array; period : float; bytes : int }
+      (** Mahimahi-style trace replay: one delivery opportunity of up to
+          [bytes] at each [times.(i) + k * period] for k = 0, 1, ... —
+          [times] sorted, all within [0, period).  A packet departs at the
+          first unused opportunity at or after its service turn; smaller
+          packets still consume a whole opportunity.  [rate_at] reports the
+          trace's average rate. *)
+
+(** Queue scheduling discipline. *)
+type discipline =
+  | Fifo  (** single shared queue — the paper's §3 model *)
+  | Drr of { quantum : int }
+      (** per-flow queues served deficit-round-robin — the "stronger
+          isolation" the conclusion suggests; [quantum] in bytes *)
+
+val rate_at : rate -> float -> float
+
+val transmit_end : rate -> start:float -> bytes:int -> float
+(** Time at which a transmission of [bytes] beginning at [start] completes;
+    [infinity] if the remaining rate trace cannot carry the bytes.  For
+    [Opportunities] this is the first opportunity strictly after [start]
+    (each serves one packet regardless of [bytes]). *)
+
+val load_mahimahi_trace : ?bytes:int -> string -> rate
+(** Parse a Mahimahi [mm-link] trace file: one millisecond timestamp per
+    line, each an opportunity to deliver one MTU; the file's last
+    timestamp defines the loop period.  Blank lines and [#] comments are
+    skipped.
+    @raise Sys_error if the file cannot be read.
+    @raise Invalid_argument on malformed or unsorted content. *)
+
+val cellular_trace :
+  rng:Rng.t -> period:float -> ?bytes:int -> mean_rate:float ->
+  burstiness:float -> unit -> rate
+(** Synthesize an [Opportunities] trace resembling a cellular link: the
+    opportunity process alternates between fast and slow regimes with
+    random dwell times, averaging [mean_rate] bytes/s over [period].
+    [burstiness] >= 1 is the fast/slow rate ratio (1 = smooth). *)
+
+type t
+
+val create :
+  eq:Event_queue.t -> rate:rate -> ?buffer:int -> ?ecn_threshold:int ->
+  ?aqm:Aqm.t -> ?discipline:discipline -> record_queue:bool -> unit -> t
+(** [buffer] is the queue capacity in bytes (including the packet in
+    service); omit it for the paper's ideal unbounded queue.  When
+    [record_queue] is set, the occupancy is logged to a series on every
+    enqueue/dequeue.
+
+    ECN (sec. 6.4): [ecn_threshold] installs the paper's simple
+    threshold AQM (mark arrivals above that many queued bytes); [aqm]
+    installs an arbitrary {!Aqm} discipline (RED, CoDel).  Give at most
+    one.  Unlike delay or loss, the CE mark is an unambiguous congestion
+    signal. *)
+
+val set_on_dequeue : t -> (Packet.t -> unit) -> unit
+(** Called when a packet finishes transmission.  Must be set before any
+    traffic arrives. *)
+
+val enqueue : t -> Packet.t -> [ `Enqueued | `Dropped ]
+
+val queued_bytes : t -> int
+val queue_delay : t -> float
+(** Current backlog divided by the current rate — the queueing delay a
+    packet arriving now would see.  [infinity] when the rate is 0. *)
+
+val drops : t -> int
+
+val ce_marks : t -> int
+(** Packets marked congestion-experienced so far. *)
+
+val delivered_bytes : t -> int
+val queue_series : t -> Series.t
+(** Occupancy trace (bytes); empty unless [record_queue] was set. *)

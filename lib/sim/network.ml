@@ -1,0 +1,251 @@
+type ack_policy =
+  | Immediate
+  | Delayed of { count : int; timeout : float }
+  | Aggregate of { period : float }
+
+type flow_spec = {
+  cca : Cca.t;
+  start_time : float;
+  stop_time : float option;
+  extra_rm : float;
+  jitter : Jitter.policy;
+  jitter_bound : float;
+  ack_policy : ack_policy;
+  loss_rate : float;
+  mss : int;
+  initial_pacing : float option;
+  inspect_period : float option;
+}
+
+let flow ?(start_time = 0.) ?stop_time ?(extra_rm = 0.) ?(jitter = Jitter.No_jitter)
+    ?(jitter_bound = infinity) ?(ack_policy = Immediate) ?(loss_rate = 0.)
+    ?(mss = Cca.default_mss) ?initial_pacing ?inspect_period cca =
+  {
+    cca;
+    start_time;
+    stop_time;
+    extra_rm;
+    jitter;
+    jitter_bound;
+    ack_policy;
+    loss_rate;
+    mss;
+    initial_pacing;
+    inspect_period;
+  }
+
+type config = {
+  rate : Link.rate;
+  buffer : int option;
+  ecn_threshold : int option;
+  aqm : Aqm.t option;
+  discipline : Link.discipline;
+  rm : float;
+  flows : flow_spec list;
+  t0 : float;
+  duration : float;
+  seed : int;
+  record_queue : bool;
+  initial_queue_bytes : int;
+}
+
+let config ~rate ?buffer ?ecn_threshold ?aqm ?(discipline = Link.Fifo) ~rm
+    ?(seed = 42) ?(record_queue = false) ?(initial_queue_bytes = 0) ?(t0 = 0.)
+    ~duration flows =
+  if flows = [] then invalid_arg "Network.config: at least one flow required";
+  if duration <= 0. then invalid_arg "Network.config: duration must be positive";
+  if rm < 0. then invalid_arg "Network.config: negative propagation delay";
+  if initial_queue_bytes < 0 then
+    invalid_arg "Network.config: negative initial queue";
+  List.iter
+    (fun f ->
+      if f.loss_rate < 0. || f.loss_rate >= 1. then
+        invalid_arg "Network.config: loss_rate must be in [0, 1)";
+      if f.extra_rm < 0. then invalid_arg "Network.config: negative extra_rm";
+      match f.stop_time with
+      | Some st when st <= f.start_time ->
+          invalid_arg "Network.config: stop_time before start_time"
+      | Some _ | None -> ())
+    flows;
+  { rate; buffer; ecn_threshold; aqm; discipline; rm; flows; t0; duration; seed;
+    record_queue; initial_queue_bytes }
+
+(* Per-flow delayed-ACK accumulator. *)
+type delack_state = {
+  mutable held : Packet.delivery list; (* newest first *)
+  mutable generation : int;
+}
+
+type t = {
+  cfg : config;
+  eq : Event_queue.t;
+  link : Link.t;
+  flows : Flow.t array;
+  jitters : Jitter.t array;
+  random_losses : int array;
+  mutable ran : bool;
+}
+
+let event_queue t = t.eq
+let link t = t.link
+let flows t = t.flows
+let jitters t = t.jitters
+let random_losses t = t.random_losses
+
+let phantom_flow_id = -1
+
+let build cfg =
+  let eq = Event_queue.create ~start:cfg.t0 () in
+  let master_rng = Rng.create ~seed:cfg.seed in
+  let link = Link.create ~eq ~rate:cfg.rate ?buffer:cfg.buffer
+      ?ecn_threshold:cfg.ecn_threshold ?aqm:cfg.aqm ~discipline:cfg.discipline
+      ~record_queue:cfg.record_queue () in
+  let n = List.length cfg.flows in
+  let specs = Array.of_list cfg.flows in
+  let jitters =
+    Array.map
+      (fun spec -> Jitter.create ~bound:spec.jitter_bound ~rng:(Rng.split master_rng) spec.jitter)
+      specs
+  in
+  let loss_rngs = Array.map (fun _ -> Rng.split master_rng) specs in
+  let random_losses = Array.make n 0 in
+  let flows = Array.make n None in
+  let delacks = Array.map (fun _ -> { held = []; generation = 0 }) specs in
+  let get_flow i = match flows.(i) with Some f -> f | None -> assert false in
+
+  (* ACK path: policy then jitter then sender. *)
+  let release_batch i (batch : Packet.delivery list) ~arrival =
+    match batch with
+    | [] -> ()
+    | _ ->
+        let newest_sent =
+          List.fold_left (fun acc (d : Packet.delivery) ->
+              Float.max acc d.packet.Packet.sent_at)
+            neg_infinity batch
+        in
+        let release =
+          Jitter.release_time jitters.(i)
+            { Jitter.flow = i; arrival; sent = newest_sent }
+        in
+        let oldest_first = List.rev batch in
+        Event_queue.schedule eq ~at:release (fun () ->
+            Flow.receive_ack (get_flow i) oldest_first)
+  in
+  let flush_delack i ~arrival =
+    let st = delacks.(i) in
+    st.generation <- st.generation + 1;
+    let batch = st.held in
+    st.held <- [];
+    release_batch i batch ~arrival
+  in
+  let on_delivery i (d : Packet.delivery) =
+    match specs.(i).ack_policy with
+    | Immediate -> release_batch i [ d ] ~arrival:d.Packet.delivered_at
+    | Delayed { count; timeout } ->
+        let st = delacks.(i) in
+        st.held <- d :: st.held;
+        if List.length st.held >= count then flush_delack i ~arrival:d.Packet.delivered_at
+        else if List.length st.held = 1 then begin
+          let gen = st.generation in
+          Event_queue.schedule eq ~at:(d.Packet.delivered_at +. timeout) (fun () ->
+              if st.generation = gen && st.held <> [] then
+                flush_delack i ~arrival:(Event_queue.now eq))
+        end
+    | Aggregate { period } ->
+        let td = d.Packet.delivered_at in
+        let slot = Float.ceil (td /. period -. 1e-9) *. period in
+        release_batch i [ d ] ~arrival:(Float.max slot td)
+  in
+
+  (* Data path after the bottleneck: per-flow propagation, then receiver. *)
+  Link.set_on_dequeue link (fun pkt ->
+      let i = pkt.Packet.flow in
+      if i <> phantom_flow_id then begin
+        let prop = cfg.rm +. specs.(i).extra_rm in
+        Event_queue.schedule eq ~at:(Event_queue.now eq +. prop) (fun () ->
+            on_delivery i
+              { Packet.packet = pkt; delivered_at = Event_queue.now eq })
+      end);
+
+  (* Sender-side transmit hook: random loss then bottleneck. *)
+  let transmit i pkt =
+    let p = specs.(i).loss_rate in
+    if p > 0. && Rng.bool loss_rngs.(i) ~p then
+      random_losses.(i) <- random_losses.(i) + 1
+    else ignore (Link.enqueue link pkt)
+  in
+  Array.iteri
+    (fun i spec ->
+      flows.(i) <-
+        Some
+          (Flow.create ~eq ~id:i ~cca:spec.cca ~mss:spec.mss
+             ~start_time:(Float.max spec.start_time cfg.t0)
+             ?stop_time:spec.stop_time ?initial_pacing:spec.initial_pacing
+             ?inspect_period:spec.inspect_period ~transmit:(transmit i) ()))
+    specs;
+
+  (* Phantom initial queue: sets d*(0) without generating ACKs. *)
+  if cfg.initial_queue_bytes > 0 then begin
+    let mss = Cca.default_mss in
+    let remaining = ref cfg.initial_queue_bytes in
+    while !remaining > 0 do
+      let size = min mss !remaining in
+      remaining := !remaining - size;
+      ignore
+        (Link.enqueue link
+           {
+             Packet.flow = phantom_flow_id;
+             seq = 0;
+             size;
+             sent_at = 0.;
+             delivered_at_send = 0;
+             app_limited = false;
+             ce = false;
+           })
+    done
+  end;
+
+  {
+    cfg;
+    eq;
+    link;
+    flows = Array.map (function Some f -> f | None -> assert false) flows;
+    jitters;
+    random_losses;
+    ran = false;
+  }
+
+let run t =
+  Event_queue.run_until t.eq (t.cfg.t0 +. t.cfg.duration);
+  t.ran <- true;
+  t
+
+let run_config cfg = run (build cfg)
+
+let throughput t ~flow ~t0 ~t1 = Flow.throughput t.flows.(flow) ~t0 ~t1
+
+let throughputs t ?(warmup_frac = 0.25) () =
+  let t1 = t.cfg.t0 +. t.cfg.duration in
+  let t0 = t.cfg.t0 +. (warmup_frac *. t.cfg.duration) in
+  Array.map (fun f -> Flow.throughput f ~t0 ~t1) t.flows
+
+let utilization t ?(warmup_frac = 0.25) () =
+  let xs = throughputs t ~warmup_frac () in
+  let total = Array.fold_left ( +. ) 0. xs in
+  let t1 = t.cfg.t0 +. t.cfg.duration
+  and t0 = t.cfg.t0 +. (warmup_frac *. t.cfg.duration) in
+  let mean_rate =
+    match t.cfg.rate with
+    | Link.Constant r -> r
+    | Link.Opportunities _ -> Link.rate_at t.cfg.rate 0.
+    | Link.Piecewise _ ->
+        (* Mean of the piecewise rate over the window, via fine sampling. *)
+        let n = 1000 in
+        let acc = ref 0. in
+        for k = 0 to n - 1 do
+          let q = t0 +. ((t1 -. t0) *. (float_of_int k +. 0.5) /. float_of_int n) in
+          acc := !acc +. Link.rate_at t.cfg.rate q
+        done;
+        !acc /. float_of_int n
+  in
+  if mean_rate <= 0. then 0. else total /. mean_rate

@@ -1,0 +1,100 @@
+(** Full network assembly: n flows sharing one bottleneck (§3 model).
+
+    Data path:  sender → (per-flow random loss) → shared FIFO bottleneck →
+    per-flow propagation delay → receiver.
+    ACK path:   receiver → per-flow ACK policy (immediate / delayed /
+    aggregated) → per-flow non-congestive delay element ({!Jitter}) → sender.
+
+    The resulting RTT is [queueing + transmission + Rm + jitter], matching
+    the paper's decomposition in §2.1. *)
+
+(** Receiver-side acknowledgment generation. *)
+type ack_policy =
+  | Immediate
+  | Delayed of { count : int; timeout : float }
+      (** coalesce up to [count] deliveries or wait at most [timeout] — the
+          delayed-ACK jitter source of Figure 7 *)
+  | Aggregate of { period : float }
+      (** ACKs leave the receiver only at integer multiples of [period] —
+          the ACK-aggregation source of the PCC Vivace experiment (§5.3) *)
+
+type flow_spec = {
+  cca : Cca.t;
+  start_time : float;
+  stop_time : float option;
+  extra_rm : float;  (** added to the base [rm], for unequal-RTT scenarios *)
+  jitter : Jitter.policy;
+  jitter_bound : float;  (** the model's D for this flow's path *)
+  ack_policy : ack_policy;
+  loss_rate : float;  (** i.i.d. drop probability on the data path *)
+  mss : int;
+  initial_pacing : float option;
+      (** pace sends at this rate until the first ACK (see {!Flow.create}) *)
+  inspect_period : float option;
+      (** sample the CCA's internals into {!Flow.inspect_series} at this
+          period *)
+}
+
+val flow : ?start_time:float -> ?stop_time:float -> ?extra_rm:float ->
+  ?jitter:Jitter.policy -> ?jitter_bound:float -> ?ack_policy:ack_policy ->
+  ?loss_rate:float -> ?mss:int -> ?initial_pacing:float ->
+  ?inspect_period:float -> Cca.t -> flow_spec
+(** Spec with defaults: starts at 0, never stops, no extra delay, no jitter
+    (bound [infinity]), immediate ACKs, no random loss, 1500-byte MSS. *)
+
+type config = {
+  rate : Link.rate;
+  buffer : int option;  (** bottleneck buffer, bytes; [None] = unbounded *)
+  ecn_threshold : int option;
+      (** queue depth (bytes) above which arriving packets are CE-marked
+          (sec. 6.4 explicit signaling); [None] disables ECN *)
+  aqm : Aqm.t option;  (** alternatively, a full {!Aqm} discipline *)
+  discipline : Link.discipline;
+      (** queue scheduling: shared FIFO (the §3 model) or DRR per-flow
+          isolation (the conclusion's "stronger isolation") *)
+  rm : float;  (** base minimum propagation RTT, seconds *)
+  flows : flow_spec list;
+  t0 : float;  (** simulation start time (flows still start at their own
+                   [start_time], which must be >= [t0]) *)
+  duration : float;  (** horizon is [t0 + duration] *)
+  seed : int;
+  record_queue : bool;
+  initial_queue_bytes : int;
+      (** bytes of phantom traffic pre-loaded into the bottleneck at [t0] —
+          sets the initial queueing delay d*(t0) that the Theorem 1
+          construction chooses *)
+}
+
+val config :
+  rate:Link.rate -> ?buffer:int -> ?ecn_threshold:int -> ?aqm:Aqm.t ->
+  ?discipline:Link.discipline -> rm:float -> ?seed:int -> ?record_queue:bool ->
+  ?initial_queue_bytes:int -> ?t0:float -> duration:float -> flow_spec list ->
+  config
+
+type t
+
+val build : config -> t
+(** Assemble the network without running it. *)
+
+val run : t -> t
+(** Run to [duration]; returns the same handle for chaining. *)
+
+val run_config : config -> t
+(** [build |> run]. *)
+
+val event_queue : t -> Event_queue.t
+val link : t -> Link.t
+val flows : t -> Flow.t array
+val jitters : t -> Jitter.t array
+val random_losses : t -> int array
+(** Packets dropped by the random-loss element, per flow. *)
+
+val throughput : t -> flow:int -> t0:float -> t1:float -> float
+(** Bytes/s acknowledged by the given flow over the interval. *)
+
+val throughputs : t -> ?warmup_frac:float -> unit -> float array
+(** Per-flow throughput over [warmup_frac * duration, duration].
+    Default warmup fraction 0.25. *)
+
+val utilization : t -> ?warmup_frac:float -> unit -> float
+(** Sum of flow throughputs over the mean link rate in the same window. *)

@@ -1,0 +1,15 @@
+type t = {
+  flow : int;
+  seq : int;
+  size : int;
+  sent_at : float;
+  delivered_at_send : int;
+  app_limited : bool;
+  mutable ce : bool;
+}
+
+type delivery = { packet : t; delivered_at : float }
+
+let pp ppf p =
+  Format.fprintf ppf "pkt[flow=%d seq=%d size=%d sent=%.6f]" p.flow p.seq p.size
+    p.sent_at

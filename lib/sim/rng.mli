@@ -1,0 +1,26 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    xoshiro256** seeded through splitmix64.  Every stochastic element of a
+    simulation (random loss, BBR probe phases, uniform jitter) draws from a
+    stream split off a single experiment seed, so runs are reproducible and
+    flows are statistically independent. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** A new generator statistically independent of the parent. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  [bound] must be positive. *)
+
+val bool : t -> p:float -> bool
+(** Bernoulli draw: [true] with probability [p]. *)
+
+val bits64 : t -> int64

@@ -1,0 +1,120 @@
+type t = {
+  series_name : string;
+  mutable times : float array;
+  mutable values : float array;
+  mutable len : int;
+}
+
+let create ?(name = "") () =
+  { series_name = name; times = [||]; values = [||]; len = 0 }
+
+let name t = t.series_name
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = max 16 (2 * Array.length t.times) in
+  let times = Array.make cap 0. and values = Array.make cap 0. in
+  Array.blit t.times 0 times 0 t.len;
+  Array.blit t.values 0 values 0 t.len;
+  t.times <- times;
+  t.values <- values
+
+let add t ~time v =
+  if t.len > 0 && time < t.times.(t.len - 1) then
+    invalid_arg
+      (Printf.sprintf "Series.add(%s): time %.9f < last %.9f" t.series_name time
+         t.times.(t.len - 1));
+  if t.len = Array.length t.times then grow t;
+  t.times.(t.len) <- time;
+  t.values.(t.len) <- v;
+  t.len <- t.len + 1
+
+let times t = Array.sub t.times 0 t.len
+let values t = Array.sub t.values 0 t.len
+
+let to_list t =
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) ((t.times.(i), t.values.(i)) :: acc)
+  in
+  build (t.len - 1) []
+
+let last t = if t.len = 0 then None else Some (t.times.(t.len - 1), t.values.(t.len - 1))
+let first t = if t.len = 0 then None else Some (t.times.(0), t.values.(0))
+
+(* Index of the last sample with time <= q, or -1. *)
+let index_at t q =
+  if t.len = 0 || q < t.times.(0) then -1
+  else begin
+    let lo = ref 0 and hi = ref (t.len - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.times.(mid) <= q then lo := mid else hi := mid - 1
+    done;
+    !lo
+  end
+
+let value_at t q =
+  let i = index_at t q in
+  if i < 0 then None else Some t.values.(i)
+
+let window t ~t0 ~t1 =
+  let rec build i acc =
+    if i < 0 || t.times.(i) < t0 then acc
+    else
+      build (i - 1)
+        (if t.times.(i) <= t1 then (t.times.(i), t.values.(i)) :: acc else acc)
+  in
+  build (t.len - 1) []
+
+let window_values t ~t0 ~t1 =
+  window t ~t0 ~t1 |> List.map snd |> Array.of_list
+
+let min_max_in t ~t0 ~t1 =
+  let vs = window_values t ~t0 ~t1 in
+  if Array.length vs = 0 then None
+  else
+    Some
+      ( Array.fold_left Float.min vs.(0) vs,
+        Array.fold_left Float.max vs.(0) vs )
+
+let mean_in t ~t0 ~t1 =
+  let vs = window_values t ~t0 ~t1 in
+  if Array.length vs = 0 then None else Some (Stats.mean vs)
+
+let integral t ~t0 ~t1 =
+  if t1 <= t0 || t.len = 0 then 0.
+  else begin
+    let acc = ref 0. in
+    let cursor = ref t0 in
+    let i0 = index_at t t0 in
+    let v = ref (if i0 < 0 then 0. else t.values.(i0)) in
+    let i = ref (max i0 0) in
+    (* Skip samples at or before t0 (their value is already in !v). *)
+    while !i < t.len && t.times.(!i) <= t0 do incr i done;
+    while !i < t.len && t.times.(!i) < t1 do
+      acc := !acc +. (!v *. (t.times.(!i) -. !cursor));
+      cursor := t.times.(!i);
+      v := t.values.(!i);
+      incr i
+    done;
+    !acc +. (!v *. (t1 -. !cursor))
+  end
+
+let resample t ~t0 ~t1 ~dt =
+  if t.len = 0 then invalid_arg "Series.resample: empty series";
+  if dt <= 0. then invalid_arg "Series.resample: dt must be positive";
+  let n = int_of_float (Float.floor ((t1 -. t0) /. dt)) + 1 in
+  if n <= 0 then [||]
+  else
+    Array.init n (fun k ->
+        let q = t0 +. (float_of_int k *. dt) in
+        let v = match value_at t q with Some v -> v | None -> t.values.(0) in
+        (q, v))
+
+let map f t =
+  let out = create ~name:t.series_name () in
+  for i = 0 to t.len - 1 do
+    add out ~time:t.times.(i) (f t.values.(i))
+  done;
+  out

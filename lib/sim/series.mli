@@ -1,0 +1,50 @@
+(** Append-only time series with non-decreasing timestamps.
+
+    Monitors record (time, value) samples; the analysis code in [lib/core]
+    then queries windows, resamples onto uniform grids, and integrates.
+    Values between samples are interpreted as a step function (the value
+    holds until the next sample) — the natural reading for cwnd, queue
+    length and delay trajectories. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+val length : t -> int
+val is_empty : t -> bool
+
+val add : t -> time:float -> float -> unit
+(** @raise Invalid_argument if [time] decreases. *)
+
+val times : t -> float array
+val values : t -> float array
+val to_list : t -> (float * float) list
+
+val last : t -> (float * float) option
+val first : t -> (float * float) option
+
+val value_at : t -> float -> float option
+(** Step interpolation: the value of the latest sample at or before the
+    query time; [None] before the first sample. *)
+
+val window : t -> t0:float -> t1:float -> (float * float) list
+(** Samples with [t0 <= time <= t1], in order. *)
+
+val window_values : t -> t0:float -> t1:float -> float array
+
+val min_max_in : t -> t0:float -> t1:float -> (float * float) option
+(** Extrema of samples within the window; [None] if no sample falls in it. *)
+
+val mean_in : t -> t0:float -> t1:float -> float option
+
+val integral : t -> t0:float -> t1:float -> float
+(** Integral of the step function over [t0, t1].  Uses the last sample at or
+    before [t0] as the initial value (0 if none). *)
+
+val resample : t -> t0:float -> t1:float -> dt:float -> (float * float) array
+(** Step-sample onto the uniform grid t0, t0+dt, ...; grid points before the
+    first sample get the first sample's value.
+    @raise Invalid_argument on an empty series or non-positive [dt]. *)
+
+val map : (float -> float) -> t -> t
+(** Pointwise transformation of the values; timestamps preserved. *)

@@ -1,0 +1,67 @@
+module Online = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then nan else t.mean
+
+  let variance t =
+    if t.n = 0 then nan else if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+end
+
+let mean xs =
+  if Array.length xs = 0 then nan
+  else Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.
+
+let jain_index xs =
+  match xs with
+  | [] -> invalid_arg "Stats.jain_index: empty list"
+  | _ ->
+      let n = float_of_int (List.length xs) in
+      let s = List.fold_left ( +. ) 0. xs in
+      let s2 = List.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+      if s2 = 0. then 1. else s *. s /. (n *. s2)
+
+let max_min_ratio xs =
+  match xs with
+  | [] -> invalid_arg "Stats.max_min_ratio: empty list"
+  | x :: rest ->
+      let mn = List.fold_left Float.min x rest in
+      let mx = List.fold_left Float.max x rest in
+      if mx = 0. then 1. else if mn = 0. then infinity else mx /. mn

@@ -1,0 +1,35 @@
+(** Streaming and batch statistics used by monitors and experiment reports. *)
+
+(** Online mean/variance/extrema accumulator (Welford's algorithm). *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** [nan] when empty. *)
+
+  val variance : t -> float
+  (** Sample variance; [0.] for fewer than two samples, [nan] when empty. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+val mean : float array -> float
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [0,100], linear interpolation between order
+    statistics.  The input need not be sorted.
+    @raise Invalid_argument on an empty array or p outside [0,100]. *)
+
+val median : float array -> float
+
+val jain_index : float list -> float
+(** Jain's fairness index: [(sum x)^2 / (n * sum x^2)].  1 = perfectly fair.
+    @raise Invalid_argument on an empty list. *)
+
+val max_min_ratio : float list -> float
+(** Ratio of the largest to the smallest value; [infinity] if the smallest is
+    zero while the largest is positive, [1.] when all are zero. *)

@@ -1,0 +1,12 @@
+let mbps x = x *. 1e6 /. 8.
+let to_mbps r = r *. 8. /. 1e6
+let ms x = x /. 1000.
+let to_ms t = t *. 1000.
+let kbps x = x *. 1e3 /. 8.
+
+let bdp_bytes ~rate ~rtt = int_of_float (Float.round (rate *. rtt))
+
+let bdp_packets ~rate ~rtt ~mss = rate *. rtt /. float_of_int mss
+
+let feq ?(eps = 1e-9) a b =
+  Float.abs (a -. b) <= eps *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))

@@ -1,0 +1,324 @@
+(* Tests for the bounded adversarial search (the CCAC substitute). *)
+
+let qt = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Generic search                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Toy system: state is an int, choices add 0/1/2, score is the value.
+   The optimum over h steps is 2h. *)
+let toy =
+  {
+    Ccac.Search.initial = 0;
+    choices = (fun _ -> [ 0; 1; 2 ]);
+    step = (fun s c -> s + c);
+    score = float_of_int;
+  }
+
+let test_dfs_exact () =
+  let best = Ccac.Search.dfs_max toy ~horizon:5 in
+  Alcotest.(check (float 1e-9)) "optimum" 10. best.Ccac.Search.score;
+  Alcotest.(check (list int)) "trace" [ 2; 2; 2; 2; 2 ] best.Ccac.Search.trace
+
+let test_beam_lower_bound () =
+  let best = Ccac.Search.beam_max toy ~horizon:5 ~width:2 in
+  Alcotest.(check (float 1e-9)) "beam finds optimum on monotone system" 10.
+    best.Ccac.Search.score
+
+let test_dfs_dead_end () =
+  let sys =
+    {
+      Ccac.Search.initial = 0;
+      choices = (fun s -> if s >= 2 then [] else [ 1 ]);
+      step = (fun s c -> s + c);
+      score = float_of_int;
+    }
+  in
+  let best = Ccac.Search.dfs_max sys ~horizon:10 in
+  Alcotest.(check (float 1e-9)) "stops at dead end" 2. best.Ccac.Search.score
+
+let test_count_leaves () =
+  Alcotest.(check int) "3^4" 81 (Ccac.Search.count_leaves toy ~horizon:4)
+
+let prop_beam_never_beats_dfs =
+  QCheck.Test.make ~name:"beam score <= dfs score" ~count:30
+    QCheck.(pair (int_range 1 6) (int_range 1 8))
+    (fun (h, w) ->
+      let dfs = Ccac.Search.dfs_max toy ~horizon:h in
+      let beam = Ccac.Search.beam_max toy ~horizon:h ~width:w in
+      beam.Ccac.Search.score <= dfs.Ccac.Search.score +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* AIMD check                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_aimd_bounded_10rtt () =
+  let v = Ccac.Aimd_check.check ~bdp:10. ~buffer:10. ~horizon:10 () in
+  Alcotest.(check bool) "exhaustive" true v.Ccac.Aimd_check.exhaustive;
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f bounded" v.Ccac.Aimd_check.max_ratio)
+    true
+    (Float.is_finite v.Ccac.Aimd_check.max_ratio
+    && v.Ccac.Aimd_check.max_ratio < 25.)
+
+let test_aimd_injected_loss_worse () =
+  let clean = Ccac.Aimd_check.check ~bdp:10. ~buffer:10. ~horizon:10 () in
+  let lossy =
+    Ccac.Aimd_check.check ~bdp:10. ~buffer:10. ~horizon:10
+      ~allow_injected_loss:true ()
+  in
+  Alcotest.(check bool) "injected loss strictly worse" true
+    (lossy.Ccac.Aimd_check.max_ratio > clean.Ccac.Aimd_check.max_ratio)
+
+let test_aimd_equal_start_fair () =
+  let v =
+    Ccac.Aimd_check.check ~bdp:10. ~buffer:10. ~horizon:10 ~w1_0:5. ~w2_0:5. ()
+  in
+  Alcotest.(check bool) "equal start keeps ratio moderate" true
+    (v.Ccac.Aimd_check.max_ratio < 8.)
+
+let test_aimd_overflow_forces_victim () =
+  (* With joint demand above bdp+buffer the only moves are victim picks. *)
+  let v = Ccac.Aimd_check.check ~bdp:2. ~buffer:1. ~horizon:3 ~w1_0:3. ~w2_0:3. () in
+  Alcotest.(check bool) "trace contains a victim choice" true
+    (List.exists
+       (function
+         | Ccac.Aimd_check.Victim_1 | Ccac.Aimd_check.Victim_2
+         | Ccac.Aimd_check.Victim_both ->
+             true
+         | Ccac.Aimd_check.Inject_loss_1 | Ccac.Aimd_check.No_op -> false)
+       v.Ccac.Aimd_check.trace)
+
+let test_aimd_utilization_positive () =
+  let v = Ccac.Aimd_check.check ~bdp:10. ~buffer:10. ~horizon:10 () in
+  Alcotest.(check bool) "worst trace still delivers" true
+    (v.Ccac.Aimd_check.utilization > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Alg1 check                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let alg1_params =
+  { Alg1.default_params with rm = 0.05; rmax = 0.1; d_jitter = 0.01; s = 2.;
+    a = Sim.Units.mbps 0.5 }
+
+let test_alg1_survives () =
+  let v =
+    Ccac.Alg1_check.check ~params:alg1_params ~link_rate:(Sim.Units.mbps 10.)
+      ~curve:Ccac.Alg1_check.Exponential ~horizon:30 ~beam_width:128 ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f stays near design s" v.Ccac.Alg1_check.max_ratio)
+    true
+    (v.Ccac.Alg1_check.max_ratio < 2.6);
+  Alcotest.(check bool)
+    (Printf.sprintf "utilization %.2f stays high" v.Ccac.Alg1_check.min_utilization)
+    true
+    (v.Ccac.Alg1_check.min_utilization > 0.5)
+
+let test_vegas_like_breaks () =
+  let exp_v =
+    Ccac.Alg1_check.check ~params:alg1_params ~link_rate:(Sim.Units.mbps 10.)
+      ~curve:Ccac.Alg1_check.Exponential ~horizon:30 ~beam_width:128 ()
+  in
+  let veg =
+    Ccac.Alg1_check.check ~params:alg1_params ~link_rate:(Sim.Units.mbps 10.)
+      ~curve:Ccac.Alg1_check.Vegas_like ~horizon:30 ~beam_width:128 ()
+  in
+  Alcotest.(check bool) "vegas-like is worse" true
+    (veg.Ccac.Alg1_check.max_ratio > exp_v.Ccac.Alg1_check.max_ratio)
+
+let test_alg1_trace_length () =
+  let v =
+    Ccac.Alg1_check.check ~params:alg1_params ~link_rate:(Sim.Units.mbps 10.)
+      ~curve:Ccac.Alg1_check.Exponential ~horizon:12 ~beam_width:32 ()
+  in
+  Alcotest.(check int) "trace matches horizon" 12
+    (List.length v.Ccac.Alg1_check.ratio_trace)
+
+(* ------------------------------------------------------------------ *)
+(* Appendix C model                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let model_rm = 0.05
+let model_mss = 1500.
+let model_rate = Sim.Units.mbps 8.
+
+let test_model_vegas_ideal () =
+  let vegas = Ccac.Model.vegas_model ~rm:model_rm ~mss:model_mss ~alpha:3. in
+  let u, _ =
+    Ccac.Model.max_unfairness ~cca:vegas ~link_rate:model_rate ~rm:model_rm
+      ~big_d:0. ~horizon:30 ()
+  in
+  let util =
+    Ccac.Model.min_utilization ~cca:vegas ~link_rate:model_rate ~rm:model_rm
+      ~big_d:0. ~horizon:30 ()
+  in
+  Alcotest.(check bool) "fair on ideal path" true (u < 1.5);
+  Alcotest.(check bool) "efficient on ideal path" true (util > 0.9)
+
+let test_model_vegas_jitter_hurts () =
+  let vegas = Ccac.Model.vegas_model ~rm:model_rm ~mss:model_mss ~alpha:3. in
+  let u0, _ =
+    Ccac.Model.max_unfairness ~cca:vegas ~link_rate:model_rate ~rm:model_rm
+      ~big_d:0. ~horizon:40 ()
+  in
+  let u_jitter, _ =
+    Ccac.Model.max_unfairness ~cca:vegas ~link_rate:model_rate ~rm:model_rm
+      ~big_d:model_rm ~horizon:40 ()
+  in
+  let util_jitter =
+    Ccac.Model.min_utilization ~cca:vegas ~link_rate:model_rate ~rm:model_rm
+      ~big_d:model_rm ~horizon:40 ()
+  in
+  Alcotest.(check bool) "jitter raises unfairness" true (u_jitter > u0 +. 0.5);
+  Alcotest.(check bool) "jitter breaks efficiency" true (util_jitter < 0.8)
+
+let test_model_aimd_delay_blind () =
+  (* The paper's sec. 5.4 point: loss-based AIMD is immune to pure delay
+     jitter because loss is a physical event.  The adversary's best
+     scores must be identical with and without jitter. *)
+  let aimd = Ccac.Model.aimd_model ~rm:model_rm ~mss:model_mss in
+  let bdp = model_rate *. model_rm in
+  let run big_d =
+    let u, _ =
+      Ccac.Model.max_unfairness ~cca:aimd ~link_rate:model_rate ~rm:model_rm
+        ~big_d ~buffer:bdp ~horizon:40 ()
+    in
+    let util =
+      Ccac.Model.min_utilization ~cca:aimd ~link_rate:model_rate ~rm:model_rm
+        ~big_d ~buffer:bdp ~horizon:40 ()
+    in
+    (u, util)
+  in
+  let u0, util0 = run 0. in
+  let uj, utilj = run model_rm in
+  Alcotest.(check (float 1e-9)) "unfairness unchanged" u0 uj;
+  Alcotest.(check (float 1e-9)) "utilization unchanged" util0 utilj;
+  Alcotest.(check bool) "bounded" true (Float.is_finite u0 && u0 < 5.)
+
+let test_model_waste_requires_empty_queue () =
+  (* With a backlogged queue the adversary may not waste: the choices list
+     must shrink accordingly. *)
+  let vegas = Ccac.Model.vegas_model ~rm:model_rm ~mss:model_mss ~alpha:3. in
+  let sys =
+    Ccac.Model.system ~cca:vegas ~link_rate:model_rate ~rm:model_rm ~big_d:0.01
+      ~buffer:infinity ~warmup:0 ~score:Ccac.Model.unfairness
+  in
+  let initial_choices = List.length (sys.Ccac.Search.choices sys.Ccac.Search.initial) in
+  (* Step forward without waste until a queue builds. *)
+  let no_waste =
+    { Ccac.Model.waste = false; split_bias = `Fifo; jitter_1 = 0.; jitter_2 = 0. }
+  in
+  let rec go st n = if n = 0 then st else go (sys.Ccac.Search.step st no_waste) (n - 1) in
+  (* Vegas needs ~30 steps of +1 packet growth before its rate exceeds the
+     link and a standing queue forms. *)
+  let later = go sys.Ccac.Search.initial 45 in
+  let later_choices = List.length (sys.Ccac.Search.choices later) in
+  Alcotest.(check int) "empty queue: waste allowed (2x3x3x3)" 54 initial_choices;
+  Alcotest.(check int) "backlogged: no waste (3x3x3)" 27 later_choices
+
+let test_model_conservation () =
+  (* served <= arrived always; queue never negative. *)
+  let vegas = Ccac.Model.vegas_model ~rm:model_rm ~mss:model_mss ~alpha:3. in
+  let sys =
+    Ccac.Model.system ~cca:vegas ~link_rate:model_rate ~rm:model_rm ~big_d:0.02
+      ~buffer:infinity ~warmup:0 ~score:Ccac.Model.unfairness
+  in
+  let choice =
+    { Ccac.Model.waste = false; split_bias = `Favor_2; jitter_1 = 0.02; jitter_2 = 0. }
+  in
+  let rec go st n =
+    if n > 0 then begin
+      let open Ccac.Model in
+      Alcotest.(check bool) "served1 <= arrived1" true (st.served1 <= st.arrived1 +. 1e-9);
+      Alcotest.(check bool) "served2 <= arrived2" true (st.served2 <= st.arrived2 +. 1e-9);
+      Alcotest.(check bool) "queue nonneg" true
+        (st.arrived1 +. st.arrived2 -. st.served1 -. st.served2 >= -1e-9);
+      go (sys.Ccac.Search.step st choice) (n - 1)
+    end
+  in
+  go sys.Ccac.Search.initial 30
+
+let test_model_cca_updates () =
+  let vegas = Ccac.Model.vegas_model ~rm:0.05 ~mss:1500. ~alpha:3. in
+  (* Loss halves. *)
+  let w = 30000. in
+  let after_loss = vegas.Ccac.Model.update w ~delay:0.05 ~acked:1500. ~lost:true in
+  Alcotest.(check (float 1.)) "vegas halves on loss" 15000. after_loss;
+  (* Below-target queueing grows by one packet. *)
+  let grown = vegas.Ccac.Model.update w ~delay:0.0505 ~acked:1500. ~lost:false in
+  Alcotest.(check (float 1.)) "vegas grows" 31500. grown;
+  let aimd = Ccac.Model.aimd_model ~rm:0.05 ~mss:1500. in
+  Alcotest.(check (float 1.)) "aimd halves on loss" 15000.
+    (aimd.Ccac.Model.update w ~delay:0.5 ~acked:0. ~lost:true);
+  Alcotest.(check (float 1.)) "aimd ignores delay" 31500.
+    (aimd.Ccac.Model.update w ~delay:5.0 ~acked:0. ~lost:false)
+
+let test_model_unfairness_metric () =
+  let st =
+    {
+      Ccac.Model.cca1 = 0.;
+      cca2 = 0.;
+      arrived1 = 0.;
+      arrived2 = 0.;
+      served1 = 0.;
+      served2 = 0.;
+      counted1 = 100.;
+      counted2 = 400.;
+      served1_lag = 0.;
+      served2_lag = 0.;
+      steps = 10;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "ratio" 4. (Ccac.Model.unfairness st);
+  let starved = { st with Ccac.Model.counted1 = 0. } in
+  Alcotest.(check bool) "starved = infinity" true
+    (Ccac.Model.unfairness starved = infinity);
+  Alcotest.(check (float 1e-9)) "utilization" 0.5
+    (Ccac.Model.utilization ~link_rate:200. ~rm:1. ~warmup:5 st)
+
+let test_beam_width_one_is_greedy () =
+  (* Width-1 beam on the monotone toy system follows the greedy path. *)
+  let best = Ccac.Search.beam_max toy ~horizon:6 ~width:1 in
+  Alcotest.(check (float 1e-9)) "greedy = optimal here" 12. best.Ccac.Search.score
+
+let () =
+  Alcotest.run "ccac"
+    [
+      ( "search",
+        [
+          Alcotest.test_case "dfs exact" `Quick test_dfs_exact;
+          Alcotest.test_case "beam lower bound" `Quick test_beam_lower_bound;
+          Alcotest.test_case "dead end" `Quick test_dfs_dead_end;
+          Alcotest.test_case "count leaves" `Quick test_count_leaves;
+          qt prop_beam_never_beats_dfs;
+        ] );
+      ( "aimd",
+        [
+          Alcotest.test_case "bounded at 10 rtts" `Quick test_aimd_bounded_10rtt;
+          Alcotest.test_case "injected loss worse" `Quick test_aimd_injected_loss_worse;
+          Alcotest.test_case "equal start fair" `Quick test_aimd_equal_start_fair;
+          Alcotest.test_case "overflow forces victim" `Quick test_aimd_overflow_forces_victim;
+          Alcotest.test_case "utilization positive" `Quick test_aimd_utilization_positive;
+        ] );
+      ( "alg1",
+        [
+          Alcotest.test_case "alg1 survives" `Quick test_alg1_survives;
+          Alcotest.test_case "vegas-like breaks" `Quick test_vegas_like_breaks;
+          Alcotest.test_case "trace length" `Quick test_alg1_trace_length;
+        ] );
+      ( "appendix-c model",
+        [
+          Alcotest.test_case "vegas ideal" `Quick test_model_vegas_ideal;
+          Alcotest.test_case "vegas jitter hurts" `Quick test_model_vegas_jitter_hurts;
+          Alcotest.test_case "aimd delay-blind" `Quick test_model_aimd_delay_blind;
+          Alcotest.test_case "waste needs empty queue" `Quick
+            test_model_waste_requires_empty_queue;
+          Alcotest.test_case "conservation" `Quick test_model_conservation;
+          Alcotest.test_case "cca updates" `Quick test_model_cca_updates;
+          Alcotest.test_case "metrics" `Quick test_model_unfairness_metric;
+          Alcotest.test_case "beam width one" `Quick test_beam_width_one_is_greedy;
+        ] );
+    ]

@@ -1,0 +1,248 @@
+(* Tests for the experiment layer: the report formatting, the registry,
+   and the cheaper experiments end-to-end in quick mode.  The expensive
+   scenario experiments run as `Slow cases (picked up by `dune runtest`
+   but kept out of quick iteration via ALCOTEST_QUICK_TESTS). *)
+
+let test_report_row () =
+  let r =
+    Experiments.Report.row ~id:"X" ~label:"case" ~paper:"p" ~measured:"m" ~ok:true
+  in
+  Alcotest.(check string) "id" "X" r.Experiments.Report.id;
+  Alcotest.(check bool) "all_ok true" true (Experiments.Report.all_ok [ r ]);
+  let bad = { r with Experiments.Report.ok = false } in
+  Alcotest.(check bool) "all_ok false" false (Experiments.Report.all_ok [ r; bad ])
+
+let test_report_markdown () =
+  let rows =
+    [
+      Experiments.Report.row ~id:"X1" ~label:"case a" ~paper:"p" ~measured:"m" ~ok:true;
+      Experiments.Report.row ~id:"X2" ~label:"case b" ~paper:"q" ~measured:"n" ~ok:false;
+    ]
+  in
+  let md = Experiments.Report.to_markdown ~title:"T" rows in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "title" true (contains md "## T");
+  Alcotest.(check bool) "row" true (contains md "| X1 | case a | p | m | yes |");
+  Alcotest.(check bool) "failure bolded" true (contains md "**NO**")
+
+let test_report_formatting () =
+  Alcotest.(check string) "mbps" "12.00 Mbit/s"
+    (Experiments.Report.mbps (Sim.Units.mbps 12.));
+  Alcotest.(check string) "msec" "42.00 ms" (Experiments.Report.msec 0.042)
+
+let test_registry_complete () =
+  let keys = List.map (fun e -> e.Experiments.Registry.key) Experiments.Registry.all in
+  let expected =
+    [ "fig1"; "fig3"; "copa"; "bbr"; "vivace"; "fig7"; "allegro"; "theorem1";
+      "theorem2"; "alg1"; "ccac"; "ecn"; "threshold"; "isolation"; "robustness";
+      "matrix" ]
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " registered") true (List.mem k keys))
+    expected;
+  Alcotest.(check int) "no duplicates" (List.length keys)
+    (List.length (List.sort_uniq String.compare keys));
+  Alcotest.(check bool) "all paper artifacts plus extensions covered" true
+    (List.length keys >= 14)
+
+let test_registry_find () =
+  Alcotest.(check bool) "find copa" true (Experiments.Registry.find "copa" <> None);
+  Alcotest.(check bool) "find nonsense" true
+    (Experiments.Registry.find "nonsense" = None)
+
+let test_merit_rows () =
+  let rows = Experiments.Exp_alg1.merit_rows () in
+  Alcotest.(check int) "3 jitters x 3 s" 9 (List.length rows)
+
+let test_copa_poison_trace_is_legal () =
+  (* The poison schedule must stay within the declared 1 ms bound. *)
+  for i = 0 to 1000 do
+    let t = float_of_int i *. 0.01 in
+    let d = Experiments.Exp_copa.poison_trace t in
+    Alcotest.(check bool) "in [0, 1ms]" true (d >= 0. && d <= 0.001)
+  done
+
+let run_rows name rows =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s / %s %s: %s" name r.Experiments.Report.id
+           r.Experiments.Report.label r.Experiments.Report.measured)
+        true r.Experiments.Report.ok)
+    rows
+
+(* End-to-end experiment runs (quick mode). *)
+let test_exp_ccac () = run_rows "ccac" (Experiments.Exp_ccac.run ~quick:true ())
+let test_exp_fig1 () = run_rows "fig1" (Experiments.Exp_fig1.run ~quick:true ())
+let test_exp_copa () = run_rows "copa" (Experiments.Exp_copa.run ~quick:true ())
+let test_exp_bbr () = run_rows "bbr" (Experiments.Exp_bbr.run ~quick:true ())
+let test_exp_vivace () = run_rows "vivace" (Experiments.Exp_vivace.run ~quick:true ())
+let test_exp_fig7 () = run_rows "fig7" (Experiments.Exp_fig7.run ~quick:true ())
+let test_exp_fig3 () = run_rows "fig3" (Experiments.Exp_fig3.run ~quick:true ())
+let test_exp_theorem1 () = run_rows "theorem1" (Experiments.Exp_theorem1.run ~quick:true ())
+let test_exp_theorem2 () = run_rows "theorem2" (Experiments.Exp_theorem2.run ~quick:true ())
+let test_exp_alg1 () = run_rows "alg1" (Experiments.Exp_alg1.run ~quick:true ())
+let test_exp_allegro () = run_rows "allegro" (Experiments.Exp_allegro.run ~quick:true ())
+let test_exp_ecn () = run_rows "ecn" (Experiments.Exp_ecn.run ~quick:true ())
+let test_exp_threshold () = run_rows "threshold" (Experiments.Exp_threshold.run ~quick:true ())
+let test_exp_isolation () = run_rows "isolation" (Experiments.Exp_isolation.run ~quick:true ())
+let test_exp_robustness () = run_rows "robustness" (Experiments.Exp_robustness.run ~quick:true ())
+let test_exp_matrix () = run_rows "matrix" (Experiments.Exp_matrix.run ~quick:true ())
+
+let test_series_to_rows_stride () =
+  let s = Sim.Series.create () in
+  for i = 0 to 9 do
+    Sim.Series.add s ~time:(float_of_int i) (float_of_int (i * i))
+  done;
+  Alcotest.(check int) "stride 3 keeps 4" 4
+    (List.length (Experiments.Export.series_to_rows ~stride:3 s));
+  Alcotest.(check int) "stride 1 keeps all" 10
+    (List.length (Experiments.Export.series_to_rows s))
+
+let test_threshold_sweep_escalates () =
+  let pts = Experiments.Exp_threshold.sweep ~quick:true () in
+  Alcotest.(check bool) "several points" true (List.length pts >= 3);
+  let first = List.hd pts and last = List.nth pts (List.length pts - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio rises with D (%.1f -> %.1f)"
+       first.Experiments.Exp_threshold.ratio last.Experiments.Exp_threshold.ratio)
+    true
+    (last.Experiments.Exp_threshold.ratio
+    > 2. *. first.Experiments.Exp_threshold.ratio)
+
+let test_export_csv () =
+  let dir = Filename.temp_file "ccstarve" "" in
+  Sys.remove dir;
+  let rows = [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "t.csv" in
+  Experiments.Export.write_csv ~path ~cols:[ "a"; "b" ] rows;
+  let ic = open_in path in
+  let header = input_line ic in
+  let first = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "header" "a,b" header;
+  Alcotest.(check string) "row" "1,2" first
+
+(* ------------------------------------------------------------------ *)
+(* ASCII plots                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_plot_empty () =
+  Alcotest.(check string) "stub" "(no data)\n" (Experiments.Ascii_plot.render []);
+  Alcotest.(check string) "stub for empty series" "(no data)\n"
+    (Experiments.Ascii_plot.render [ ("a", []) ])
+
+let test_plot_contains_markers_and_labels () =
+  let out =
+    Experiments.Ascii_plot.render ~title:"T" ~width:40 ~height:10
+      [ ("up", [ (0., 0.); (1., 1.) ]); ("down", [ (0., 1.); (1., 0.) ]) ]
+  in
+  Alcotest.(check bool) "title present" true
+    (String.length out > 0 && String.sub out 0 1 = "T");
+  Alcotest.(check bool) "marker 1" true (String.contains out '*');
+  Alcotest.(check bool) "marker 2" true (String.contains out '+');
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "legend up" true (contains out "* up");
+  Alcotest.(check bool) "legend down" true (contains out "+ down")
+
+let test_plot_dimensions () =
+  let out =
+    Experiments.Ascii_plot.render ~width:30 ~height:8 [ ("s", [ (0., 5.); (2., 7.) ]) ]
+  in
+  let lines = String.split_on_char '\n' out in
+  (* 8 canvas rows + axis + x labels + legend, no title. *)
+  Alcotest.(check bool) "row count sane" true
+    (List.length lines >= 11 && List.length lines <= 13);
+  (* Every canvas row has the axis bar. *)
+  let canvas_rows = List.filteri (fun i _ -> i < 8) lines in
+  List.iter
+    (fun l -> Alcotest.(check bool) "axis bar" true (String.contains l '|'))
+    canvas_rows
+
+let test_plot_render_series_wrapper () =
+  let s = Sim.Series.create () in
+  Sim.Series.add s ~time:0. 1.;
+  Sim.Series.add s ~time:1. 2.;
+  let out = Experiments.Ascii_plot.render_series ~title:"W" ("wrapped", s) in
+  Alcotest.(check bool) "has marker" true (String.contains out '*');
+  Alcotest.(check bool) "has title" true (String.length out > 0 && out.[0] = 'W')
+
+let test_registry_titles_nonempty () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (e.Experiments.Registry.key ^ " has a title")
+        true
+        (String.length e.Experiments.Registry.title > 10))
+    Experiments.Registry.all
+
+let test_plot_degenerate_point () =
+  (* A single point must not crash or divide by zero. *)
+  let out = Experiments.Ascii_plot.render [ ("pt", [ (1., 1.) ]) ] in
+  Alcotest.(check bool) "renders" true (String.contains out '*')
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "row" `Quick test_report_row;
+          Alcotest.test_case "formatting" `Quick test_report_formatting;
+          Alcotest.test_case "markdown" `Quick test_report_markdown;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "find" `Quick test_registry_find;
+        ] );
+      ( "static",
+        [
+          Alcotest.test_case "merit rows" `Quick test_merit_rows;
+          Alcotest.test_case "poison trace legal" `Quick test_copa_poison_trace_is_legal;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "ccac" `Quick test_exp_ccac;
+          Alcotest.test_case "fig1" `Slow test_exp_fig1;
+          Alcotest.test_case "copa" `Slow test_exp_copa;
+          Alcotest.test_case "bbr" `Slow test_exp_bbr;
+          Alcotest.test_case "vivace" `Slow test_exp_vivace;
+          Alcotest.test_case "fig7" `Slow test_exp_fig7;
+          Alcotest.test_case "fig3" `Slow test_exp_fig3;
+          Alcotest.test_case "theorem1" `Slow test_exp_theorem1;
+          Alcotest.test_case "theorem2" `Slow test_exp_theorem2;
+          Alcotest.test_case "alg1" `Slow test_exp_alg1;
+          Alcotest.test_case "allegro" `Slow test_exp_allegro;
+          Alcotest.test_case "ecn" `Slow test_exp_ecn;
+          Alcotest.test_case "threshold" `Slow test_exp_threshold;
+          Alcotest.test_case "threshold escalates" `Slow test_threshold_sweep_escalates;
+          Alcotest.test_case "isolation" `Slow test_exp_isolation;
+          Alcotest.test_case "robustness" `Slow test_exp_robustness;
+          Alcotest.test_case "matrix" `Slow test_exp_matrix;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "csv" `Quick test_export_csv;
+          Alcotest.test_case "stride" `Quick test_series_to_rows_stride;
+        ] );
+      ( "ascii_plot",
+        [
+          Alcotest.test_case "empty" `Quick test_plot_empty;
+          Alcotest.test_case "markers and labels" `Quick
+            test_plot_contains_markers_and_labels;
+          Alcotest.test_case "dimensions" `Quick test_plot_dimensions;
+          Alcotest.test_case "degenerate point" `Quick test_plot_degenerate_point;
+          Alcotest.test_case "render_series" `Quick test_plot_render_series_wrapper;
+          Alcotest.test_case "registry titles" `Quick test_registry_titles_nonempty;
+        ] );
+    ]

@@ -1,0 +1,1456 @@
+(* Tests for the simulation substrate: heap, event queue, rng, stats,
+   series, jitter, link, flow and network integration. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_eps eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_basic () =
+  let h = Sim.Heap.create ~cmp:Int.compare () in
+  Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h);
+  List.iter (Sim.Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  Alcotest.(check int) "size" 6 (Sim.Heap.size h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Sim.Heap.peek h);
+  Alcotest.(check (option int)) "pop" (Some 1) (Sim.Heap.pop h);
+  Alcotest.(check (option int)) "pop2" (Some 2) (Sim.Heap.pop h);
+  Alcotest.(check int) "size after" 4 (Sim.Heap.size h)
+
+let test_heap_pop_exn_empty () =
+  let h = Sim.Heap.create ~cmp:Int.compare () in
+  Alcotest.check_raises "empty pop_exn"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Sim.Heap.pop_exn h))
+
+let test_heap_clear () =
+  let h = Sim.Heap.create ~cmp:Int.compare () in
+  List.iter (Sim.Heap.push h) [ 3; 1; 2 ];
+  Sim.Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Sim.Heap.is_empty h);
+  Sim.Heap.push h 9;
+  Alcotest.(check (option int)) "usable after clear" (Some 9) (Sim.Heap.peek h)
+
+let test_heap_to_sorted_preserves () =
+  let h = Sim.Heap.create ~cmp:Int.compare () in
+  List.iter (Sim.Heap.push h) [ 4; 2; 7 ];
+  Alcotest.(check (list int)) "sorted" [ 2; 4; 7 ] (Sim.Heap.to_sorted_list h);
+  Alcotest.(check int) "unchanged" 3 (Sim.Heap.size h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Sim.Heap.create ~cmp:Int.compare () in
+      List.iter (Sim.Heap.push h) xs;
+      let drained = Sim.Heap.to_sorted_list h in
+      drained = List.sort Int.compare xs)
+
+let prop_heap_interleaved =
+  QCheck.Test.make ~name:"heap peek is minimum under interleaved ops" ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Sim.Heap.create ~cmp:Int.compare () in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, x) ->
+          if is_push then begin
+            Sim.Heap.push h x;
+            model := x :: !model;
+            true
+          end
+          else begin
+            let expect =
+              match !model with
+              | [] -> None
+              | l -> Some (List.fold_left min max_int l)
+            in
+            let got = Sim.Heap.pop h in
+            (match got with
+            | Some v ->
+                let rec remove = function
+                  | [] -> []
+                  | y :: rest -> if y = v then rest else y :: remove rest
+                in
+                model := remove !model
+            | None -> ());
+            got = expect
+          end)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Event queue                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_eq_ordering () =
+  let eq = Sim.Event_queue.create () in
+  let log = ref [] in
+  Sim.Event_queue.schedule eq ~at:2.0 (fun () -> log := 2 :: !log);
+  Sim.Event_queue.schedule eq ~at:1.0 (fun () -> log := 1 :: !log);
+  Sim.Event_queue.schedule eq ~at:3.0 (fun () -> log := 3 :: !log);
+  Sim.Event_queue.run eq;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+  check_float "now" 3.0 (Sim.Event_queue.now eq)
+
+let test_eq_fifo_ties () =
+  let eq = Sim.Event_queue.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Sim.Event_queue.schedule eq ~at:1.0 (fun () -> log := i :: !log)
+  done;
+  Sim.Event_queue.run eq;
+  Alcotest.(check (list int)) "fifo ties" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_eq_past_rejected () =
+  let eq = Sim.Event_queue.create () in
+  Sim.Event_queue.schedule eq ~at:1.0 (fun () -> ());
+  ignore (Sim.Event_queue.step eq);
+  Alcotest.(check bool) "raises" true
+    (try
+       Sim.Event_queue.schedule eq ~at:0.5 (fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_eq_nested_scheduling () =
+  let eq = Sim.Event_queue.create () in
+  let log = ref [] in
+  Sim.Event_queue.schedule eq ~at:1.0 (fun () ->
+      log := "a" :: !log;
+      Sim.Event_queue.schedule_after eq ~delay:0.5 (fun () -> log := "b" :: !log));
+  Sim.Event_queue.run_until eq 2.0;
+  Alcotest.(check (list string)) "nested" [ "a"; "b" ] (List.rev !log);
+  check_float "now at horizon" 2.0 (Sim.Event_queue.now eq)
+
+let test_eq_run_until_excludes_future () =
+  let eq = Sim.Event_queue.create () in
+  let fired = ref false in
+  Sim.Event_queue.schedule eq ~at:5.0 (fun () -> fired := true);
+  Sim.Event_queue.run_until eq 4.0;
+  Alcotest.(check bool) "future not fired" false !fired;
+  Alcotest.(check int) "still pending" 1 (Sim.Event_queue.pending eq)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create ~seed:1 and b = Sim.Rng.create ~seed:1 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Sim.Rng.float a 1.) (Sim.Rng.float b 1.)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Sim.Rng.create ~seed:1 and b = Sim.Rng.create ~seed:2 in
+  let same = ref true in
+  for _ = 1 to 16 do
+    if Sim.Rng.float a 1. <> Sim.Rng.float b 1. then same := false
+  done;
+  Alcotest.(check bool) "streams differ" false !same
+
+let test_rng_split_independent () =
+  let parent = Sim.Rng.create ~seed:3 in
+  let c1 = Sim.Rng.split parent in
+  let c2 = Sim.Rng.split parent in
+  let same = ref true in
+  for _ = 1 to 16 do
+    if Sim.Rng.float c1 1. <> Sim.Rng.float c2 1. then same := false
+  done;
+  Alcotest.(check bool) "children differ" false !same
+
+let prop_rng_float_range =
+  QCheck.Test.make ~name:"rng float stays in [0,bound)" ~count:100
+    QCheck.(pair small_int (float_range 0.001 1000.))
+    (fun (seed, bound) ->
+      let r = Sim.Rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let x = Sim.Rng.float r bound in
+        if x < 0. || x >= bound then ok := false
+      done;
+      !ok)
+
+let test_rng_bool_probability () =
+  let r = Sim.Rng.create ~seed:7 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Sim.Rng.bool r ~p:0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "freq near 0.3" true (Float.abs (freq -. 0.3) < 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_online_stats () =
+  let o = Sim.Stats.Online.create () in
+  List.iter (Sim.Stats.Online.add o) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_float_eps 1e-9 "mean" 5. (Sim.Stats.Online.mean o);
+  check_float_eps 1e-9 "variance" (32. /. 7.) (Sim.Stats.Online.variance o);
+  check_float "min" 2. (Sim.Stats.Online.min o);
+  check_float "max" 9. (Sim.Stats.Online.max o)
+
+let test_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "median" 3. (Sim.Stats.median xs);
+  check_float "p0" 1. (Sim.Stats.percentile xs 0.);
+  check_float "p100" 5. (Sim.Stats.percentile xs 100.);
+  check_float "p25" 2. (Sim.Stats.percentile xs 25.)
+
+let test_percentile_invalid () =
+  Alcotest.(check bool) "empty raises" true
+    (try ignore (Sim.Stats.percentile [||] 50.); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "p out of range raises" true
+    (try ignore (Sim.Stats.percentile [| 1. |] 101.); false
+     with Invalid_argument _ -> true)
+
+let test_percentile_single () =
+  check_float "single" 42. (Sim.Stats.percentile [| 42. |] 75.)
+
+let test_jain () =
+  check_float "equal shares" 1. (Sim.Stats.jain_index [ 5.; 5.; 5. ]);
+  check_float_eps 1e-9 "one hog" 0.25 (Sim.Stats.jain_index [ 1.; 0.; 0.; 0. ])
+
+let test_max_min_ratio () =
+  check_float "ratio" 4. (Sim.Stats.max_min_ratio [ 1.; 4.; 2. ]);
+  check_float "all zero" 1. (Sim.Stats.max_min_ratio [ 0.; 0. ]);
+  Alcotest.(check bool) "inf" true (Sim.Stats.max_min_ratio [ 0.; 1. ] = infinity)
+
+let prop_jain_bounds =
+  QCheck.Test.make ~name:"jain index in (0,1]" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 20) (float_range 0.0 100.))
+    (fun xs ->
+      let j = Sim.Stats.jain_index xs in
+      j > 0. && j <= 1. +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Series                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mk_series pts =
+  let s = Sim.Series.create () in
+  List.iter (fun (t, v) -> Sim.Series.add s ~time:t v) pts;
+  s
+
+let test_series_value_at () =
+  let s = mk_series [ (1., 10.); (2., 20.); (3., 30.) ] in
+  Alcotest.(check (option (float 1e-9))) "before" None (Sim.Series.value_at s 0.5);
+  Alcotest.(check (option (float 1e-9))) "exact" (Some 10.) (Sim.Series.value_at s 1.);
+  Alcotest.(check (option (float 1e-9))) "between" (Some 20.) (Sim.Series.value_at s 2.5);
+  Alcotest.(check (option (float 1e-9))) "after" (Some 30.) (Sim.Series.value_at s 99.)
+
+let test_series_rejects_decreasing () =
+  let s = mk_series [ (1., 1.) ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       Sim.Series.add s ~time:0.5 2.;
+       false
+     with Invalid_argument _ -> true)
+
+let test_series_integral () =
+  (* Step function: 10 on [1,2), 20 on [2,3), 30 after. *)
+  let s = mk_series [ (1., 10.); (2., 20.); (3., 30.) ] in
+  check_float "full" (10. +. 20.) (Sim.Series.integral s ~t0:1. ~t1:3.);
+  check_float "partial" (0.5 *. 10.) (Sim.Series.integral s ~t0:1. ~t1:1.5);
+  check_float "beyond" (10. +. 20. +. 30.) (Sim.Series.integral s ~t0:1. ~t1:4.);
+  check_float "before start" 10. (Sim.Series.integral s ~t0:0. ~t1:2.)
+
+let test_series_window () =
+  let s = mk_series [ (1., 1.); (2., 2.); (3., 3.); (4., 4.) ] in
+  Alcotest.(check int) "window size" 2
+    (List.length (Sim.Series.window s ~t0:2. ~t1:3.));
+  Alcotest.(check (option (pair (float 1e-9) (float 1e-9))))
+    "min max" (Some (2., 3.))
+    (Sim.Series.min_max_in s ~t0:2. ~t1:3.)
+
+let test_series_resample () =
+  let s = mk_series [ (0., 5.); (1., 10.) ] in
+  let grid = Sim.Series.resample s ~t0:0. ~t1:2. ~dt:0.5 in
+  Alcotest.(check int) "grid points" 5 (Array.length grid);
+  check_float "at 0" 5. (snd grid.(0));
+  check_float "at 0.5" 5. (snd grid.(1));
+  check_float "at 1.0" 10. (snd grid.(2));
+  check_float "at 2.0" 10. (snd grid.(4))
+
+let prop_series_integral_additive =
+  QCheck.Test.make ~name:"series integral is additive over adjacent windows"
+    ~count:100
+    QCheck.(list_of_size Gen.(2 -- 20) (pair (float_range 0. 100.) (float_range 0. 10.)))
+    (fun pts ->
+      let pts =
+        List.sort (fun (a, _) (b, _) -> Float.compare a b) pts
+      in
+      let s = mk_series pts in
+      let a = Sim.Series.integral s ~t0:0. ~t1:50. in
+      let b = Sim.Series.integral s ~t0:50. ~t1:100. in
+      let whole = Sim.Series.integral s ~t0:0. ~t1:100. in
+      Float.abs (a +. b -. whole) < 1e-6 *. Float.max 1. (Float.abs whole))
+
+let test_series_map () =
+  let s = mk_series [ (1., 2.); (3., 4.) ] in
+  let doubled = Sim.Series.map (fun v -> 2. *. v) s in
+  Alcotest.(check int) "length" 2 (Sim.Series.length doubled);
+  check_float "time preserved" 1. (Sim.Series.times doubled).(0);
+  check_float "value doubled" 4. (Sim.Series.values doubled).(0)
+
+let test_series_first_last () =
+  let s = mk_series [ (1., 10.); (2., 20.) ] in
+  Alcotest.(check (option (pair (float 1e-9) (float 1e-9)))) "first" (Some (1., 10.))
+    (Sim.Series.first s);
+  Alcotest.(check (option (pair (float 1e-9) (float 1e-9)))) "last" (Some (2., 20.))
+    (Sim.Series.last s);
+  let empty = Sim.Series.create () in
+  Alcotest.(check (option (pair (float 1e-9) (float 1e-9)))) "empty first" None
+    (Sim.Series.first empty)
+
+let prop_online_matches_batch_mean =
+  QCheck.Test.make ~name:"online mean matches batch mean" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let o = Sim.Stats.Online.create () in
+      List.iter (Sim.Stats.Online.add o) xs;
+      let batch = Sim.Stats.mean (Array.of_list xs) in
+      Float.abs (Sim.Stats.Online.mean o -. batch) < 1e-9 *. Float.max 1. (Float.abs batch))
+
+let test_units_extras () =
+  check_float_eps 1e-9 "bdp packets" 40.
+    (Sim.Units.bdp_packets ~rate:(Sim.Units.mbps 12.) ~rtt:0.04 ~mss:1500);
+  Alcotest.(check bool) "feq close" true (Sim.Units.feq 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "feq far" false (Sim.Units.feq 1.0 1.1)
+
+(* ------------------------------------------------------------------ *)
+(* Jitter element                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let req ~arrival = { Sim.Jitter.flow = 0; arrival; sent = arrival -. 0.05 }
+
+let test_jitter_trace_policy () =
+  let j =
+    Sim.Jitter.create ~bound:1. ~rng:(Sim.Rng.create ~seed:1)
+      (Sim.Jitter.Trace (fun t -> t /. 10.))
+  in
+  check_float "uses arrival time" 1.1 (Sim.Jitter.release_time j (req ~arrival:1.));
+  check_float "later arrival, larger delay" 2.42
+    (Sim.Jitter.release_time j (req ~arrival:2.2))
+
+let test_jitter_constant () =
+  let j =
+    Sim.Jitter.create ~bound:1. ~rng:(Sim.Rng.create ~seed:1) (Sim.Jitter.Constant 0.01)
+  in
+  check_float "release" 1.01 (Sim.Jitter.release_time j (req ~arrival:1.));
+  Alcotest.(check int) "no violations" 0 (Sim.Jitter.violations j)
+
+let test_jitter_no_reorder () =
+  (* A big delay followed by a small one: the second packet must not pass. *)
+  let calls = ref [ 0.05; 0.0 ] in
+  let policy =
+    Sim.Jitter.Controller
+      (fun _ ->
+        match !calls with
+        | d :: rest ->
+            calls := rest;
+            d
+        | [] -> 0.)
+  in
+  let j = Sim.Jitter.create ~bound:1. ~rng:(Sim.Rng.create ~seed:1) policy in
+  let r1 = Sim.Jitter.release_time j (req ~arrival:1.0) in
+  let r2 = Sim.Jitter.release_time j (req ~arrival:1.01) in
+  check_float "first" 1.05 r1;
+  Alcotest.(check bool) "no reorder" true (r2 >= r1)
+
+let test_jitter_clamps_and_counts () =
+  let j =
+    Sim.Jitter.create ~bound:0.01 ~rng:(Sim.Rng.create ~seed:1)
+      (Sim.Jitter.Constant 0.05)
+  in
+  let r = Sim.Jitter.release_time j (req ~arrival:2.) in
+  check_float "clamped to bound" 2.01 r;
+  Alcotest.(check int) "violation counted" 1 (Sim.Jitter.violations j);
+  check_float "max requested" 0.05 (Sim.Jitter.max_requested j)
+
+let test_jitter_negative_clamped () =
+  let j =
+    Sim.Jitter.create ~bound:0.01 ~rng:(Sim.Rng.create ~seed:1)
+      (Sim.Jitter.Constant (-0.02))
+  in
+  let r = Sim.Jitter.release_time j (req ~arrival:2.) in
+  check_float "clamped to zero" 2. r;
+  Alcotest.(check int) "violation counted" 1 (Sim.Jitter.violations j)
+
+let prop_jitter_uniform_in_bounds =
+  QCheck.Test.make ~name:"uniform jitter stays within [lo,hi] and never reorders"
+    ~count:50
+    QCheck.(pair small_int (float_range 0.001 0.05))
+    (fun (seed, hi) ->
+      let j =
+        Sim.Jitter.create ~bound:hi ~rng:(Sim.Rng.create ~seed)
+          (Sim.Jitter.Uniform { lo = 0.; hi })
+      in
+      let last = ref neg_infinity in
+      let ok = ref true in
+      for i = 1 to 100 do
+        let arrival = float_of_int i *. 0.01 in
+        let r = Sim.Jitter.release_time j (req ~arrival) in
+        if r < arrival || r < !last then ok := false;
+        last := r
+      done;
+      !ok && Sim.Jitter.violations j = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Link                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rate_at_piecewise () =
+  let r = Sim.Link.Piecewise [| (0., 100.); (1., 200.); (2., 0.) |] in
+  check_float "seg0" 100. (Sim.Link.rate_at r 0.5);
+  check_float "seg1" 200. (Sim.Link.rate_at r 1.5);
+  check_float "seg2" 0. (Sim.Link.rate_at r 5.);
+  check_float "before first" 100. (Sim.Link.rate_at r (-1.))
+
+let test_transmit_end_constant () =
+  check_float "constant" 2.
+    (Sim.Link.transmit_end (Sim.Link.Constant 100.) ~start:1. ~bytes:100)
+
+let test_transmit_end_across_segments () =
+  (* 100 B/s for 1 s carries 100 B; then 200 B/s. 150 bytes from t=0:
+     100 B by t=1, remaining 50 B at 200 B/s -> 0.25 s. *)
+  let r = Sim.Link.Piecewise [| (0., 100.); (1., 200.) |] in
+  check_float "across" 1.25 (Sim.Link.transmit_end r ~start:0. ~bytes:150)
+
+let test_transmit_end_through_zero () =
+  (* Link pauses on [1,2): transmission resumes after. *)
+  let r = Sim.Link.Piecewise [| (0., 100.); (1., 0.); (2., 100.) |] in
+  check_float "spans outage" 2.5 (Sim.Link.transmit_end r ~start:0.5 ~bytes:100)
+
+let test_transmit_end_dead_link () =
+  let r = Sim.Link.Piecewise [| (0., 0.) |] in
+  Alcotest.(check bool) "infinite" true
+    (Sim.Link.transmit_end r ~start:0. ~bytes:10 = infinity)
+
+let mk_pkt ?(flow = 0) ?(size = 1000) seq =
+  {
+    Sim.Packet.flow;
+    seq;
+    size;
+    sent_at = 0.;
+    delivered_at_send = 0;
+    app_limited = false;
+    ce = false;
+  }
+
+let test_link_fifo_service () =
+  let eq = Sim.Event_queue.create () in
+  let link =
+    Sim.Link.create ~eq ~rate:(Sim.Link.Constant 1000.) ~record_queue:true ()
+  in
+  let served = ref [] in
+  Sim.Link.set_on_dequeue link (fun p -> served := p.Sim.Packet.seq :: !served);
+  ignore (Sim.Link.enqueue link (mk_pkt 0));
+  ignore (Sim.Link.enqueue link (mk_pkt 1));
+  Sim.Event_queue.run eq;
+  Alcotest.(check (list int)) "fifo order" [ 0; 1 ] (List.rev !served);
+  check_float "service time" 2. (Sim.Event_queue.now eq);
+  Alcotest.(check int) "delivered bytes" 2000 (Sim.Link.delivered_bytes link)
+
+let test_link_drop_tail () =
+  let eq = Sim.Event_queue.create () in
+  let link =
+    Sim.Link.create ~eq ~rate:(Sim.Link.Constant 1000.) ~buffer:2500
+      ~record_queue:false ()
+  in
+  Sim.Link.set_on_dequeue link (fun _ -> ());
+  Alcotest.(check bool) "first fits" true (Sim.Link.enqueue link (mk_pkt 0) = `Enqueued);
+  Alcotest.(check bool) "second fits" true (Sim.Link.enqueue link (mk_pkt 1) = `Enqueued);
+  Alcotest.(check bool) "third dropped" true (Sim.Link.enqueue link (mk_pkt 2) = `Dropped);
+  Alcotest.(check int) "drop count" 1 (Sim.Link.drops link)
+
+let test_link_queue_delay () =
+  let eq = Sim.Event_queue.create () in
+  let link =
+    Sim.Link.create ~eq ~rate:(Sim.Link.Constant 1000.) ~record_queue:false ()
+  in
+  Sim.Link.set_on_dequeue link (fun _ -> ());
+  ignore (Sim.Link.enqueue link (mk_pkt 0));
+  ignore (Sim.Link.enqueue link (mk_pkt 1));
+  check_float "two packets queued" 2. (Sim.Link.queue_delay link)
+
+(* More link properties *)
+
+let prop_link_conserves_bytes =
+  QCheck.Test.make ~name:"link conserves bytes (in = out + queued + dropped)"
+    ~count:100
+    QCheck.(list_of_size Gen.(1 -- 30) (pair (float_range 0. 1.) (int_range 100 2000)))
+    (fun arrivals ->
+      let eq = Sim.Event_queue.create () in
+      let link =
+        Sim.Link.create ~eq ~rate:(Sim.Link.Constant 10_000.) ~buffer:5_000
+          ~record_queue:false ()
+      in
+      let delivered = ref 0 in
+      Sim.Link.set_on_dequeue link (fun p -> delivered := !delivered + p.Sim.Packet.size);
+      let sent = ref 0 and dropped = ref 0 in
+      let arrivals = List.sort (fun (a, _) (b, _) -> Float.compare a b) arrivals in
+      List.iteri
+        (fun i (t, size) ->
+          Sim.Event_queue.schedule eq ~at:t (fun () ->
+              sent := !sent + size;
+              match Sim.Link.enqueue link (mk_pkt ~size i) with
+              | `Dropped -> dropped := !dropped + size
+              | `Enqueued -> ()))
+        arrivals;
+      Sim.Event_queue.run eq;
+      (* After the queue drains completely: *)
+      !sent = !delivered + !dropped && Sim.Link.queued_bytes link = 0)
+
+let prop_transmit_end_consistent_with_rate =
+  QCheck.Test.make
+    ~name:"piecewise transmit_end delivers exactly the requested bytes" ~count:200
+    QCheck.(triple (float_range 0. 5.) (int_range 1 100_000)
+              (list_of_size Gen.(1 -- 5) (float_range 100. 10_000.)))
+    (fun (start, bytes, seg_rates) ->
+      (* Breakpoints at 1s intervals. *)
+      let segs =
+        Array.of_list (List.mapi (fun i r -> (float_of_int i, r)) seg_rates)
+      in
+      let rate = Sim.Link.Piecewise segs in
+      let finish = Sim.Link.transmit_end rate ~start ~bytes in
+      if not (Float.is_finite finish) then true
+      else begin
+        (* Numerically integrate the rate over [start, finish]. *)
+        let n = 20_000 in
+        let dt = (finish -. start) /. float_of_int n in
+        let acc = ref 0. in
+        for k = 0 to n - 1 do
+          let t = start +. ((float_of_int k +. 0.5) *. dt) in
+          acc := !acc +. (Sim.Link.rate_at rate t *. dt)
+        done;
+        Float.abs (!acc -. float_of_int bytes)
+        < 0.01 *. Float.max 1. (float_of_int bytes)
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* AQM                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_aqm_threshold () =
+  let a = Sim.Aqm.threshold ~mark_above:10_000 in
+  Alcotest.(check bool) "below passes" true
+    (Sim.Aqm.on_enqueue a ~now:0. ~queue_bytes:5_000 = Sim.Aqm.Pass);
+  Alcotest.(check bool) "above marks" true
+    (Sim.Aqm.on_enqueue a ~now:0. ~queue_bytes:15_000 = Sim.Aqm.Mark);
+  Alcotest.(check int) "one mark counted" 1 (Sim.Aqm.marks a);
+  Alcotest.(check bool) "dequeue passes" true
+    (Sim.Aqm.on_dequeue a ~now:1. ~sojourn:10. = Sim.Aqm.Pass)
+
+let test_aqm_red_regimes () =
+  let a =
+    Sim.Aqm.red ~wq:1.0 ~max_p:0.5 ~min_th:10_000 ~max_th:20_000
+      ~rng:(Sim.Rng.create ~seed:4) ()
+  in
+  (* wq = 1 makes the EWMA track the instantaneous queue. *)
+  Alcotest.(check bool) "below min_th never marks" true
+    (Sim.Aqm.on_enqueue a ~now:0. ~queue_bytes:5_000 = Sim.Aqm.Pass);
+  Alcotest.(check bool) "above max_th always marks" true
+    (Sim.Aqm.on_enqueue a ~now:0. ~queue_bytes:30_000 = Sim.Aqm.Mark);
+  (* In between: marks with some probability — over many trials both
+     outcomes must appear. *)
+  let marked = ref 0 and passed = ref 0 in
+  for _ = 1 to 200 do
+    match Sim.Aqm.on_enqueue a ~now:0. ~queue_bytes:15_000 with
+    | Sim.Aqm.Mark -> incr marked
+    | Sim.Aqm.Pass -> incr passed
+  done;
+  Alcotest.(check bool) "probabilistic region marks some" true (!marked > 0);
+  Alcotest.(check bool) "and passes some" true (!passed > 0)
+
+let test_aqm_red_validates () =
+  Alcotest.(check bool) "max_th <= min_th rejected" true
+    (try
+       ignore (Sim.Aqm.red ~min_th:10 ~max_th:10 ~rng:(Sim.Rng.create ~seed:1) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_aqm_codel () =
+  let a = Sim.Aqm.codel ~target:0.005 ~interval:0.1 () in
+  (* Sojourn below target: never marks. *)
+  Alcotest.(check bool) "below target passes" true
+    (Sim.Aqm.on_dequeue a ~now:0. ~sojourn:0.001 = Sim.Aqm.Pass);
+  (* Sojourn above target but only briefly: still passes. *)
+  Alcotest.(check bool) "first above passes" true
+    (Sim.Aqm.on_dequeue a ~now:0.01 ~sojourn:0.01 = Sim.Aqm.Pass);
+  Alcotest.(check bool) "still within interval" true
+    (Sim.Aqm.on_dequeue a ~now:0.05 ~sojourn:0.01 = Sim.Aqm.Pass);
+  (* Above target for a full interval: marking starts. *)
+  Alcotest.(check bool) "marks after interval" true
+    (Sim.Aqm.on_dequeue a ~now:0.12 ~sojourn:0.01 = Sim.Aqm.Mark);
+  (* Dropping below target resets the state. *)
+  Alcotest.(check bool) "reset below target" true
+    (Sim.Aqm.on_dequeue a ~now:0.2 ~sojourn:0.001 = Sim.Aqm.Pass);
+  Alcotest.(check bool) "needs a fresh interval" true
+    (Sim.Aqm.on_dequeue a ~now:0.25 ~sojourn:0.01 = Sim.Aqm.Pass)
+
+let test_aqm_codel_accelerates () =
+  (* Once in the marking state, the sqrt control law shortens the gap
+     between successive marks. *)
+  let a = Sim.Aqm.codel ~target:0.005 ~interval:0.1 () in
+  let marks = ref [] in
+  let dt = 0.005 in
+  for i = 0 to 400 do
+    let now = float_of_int i *. dt in
+    match Sim.Aqm.on_dequeue a ~now ~sojourn:0.02 with
+    | Sim.Aqm.Mark -> marks := now :: !marks
+    | Sim.Aqm.Pass -> ()
+  done;
+  let marks = List.rev !marks in
+  Alcotest.(check bool) "several marks" true (List.length marks >= 4);
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b -. a) :: gaps rest
+    | _ -> []
+  in
+  let gs = gaps marks in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> b <= a +. 1e-9 && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "gaps shrink" true (non_increasing gs)
+
+let test_aqm_red_monotone_in_depth () =
+  let count_marks depth =
+    let a =
+      Sim.Aqm.red ~wq:1.0 ~max_p:0.3 ~min_th:10_000 ~max_th:30_000
+        ~rng:(Sim.Rng.create ~seed:42) ()
+    in
+    let n = ref 0 in
+    for _ = 1 to 500 do
+      if Sim.Aqm.on_enqueue a ~now:0. ~queue_bytes:depth = Sim.Aqm.Mark then incr n
+    done;
+    !n
+  in
+  let shallow = count_marks 12_000 and deep = count_marks 28_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "deeper queue marks more (%d vs %d)" deep shallow)
+    true (deep > 2 * shallow)
+
+let test_link_ecn_marking () =
+  let eq = Sim.Event_queue.create () in
+  let link =
+    Sim.Link.create ~eq ~rate:(Sim.Link.Constant 1000.) ~ecn_threshold:1500
+      ~record_queue:false ()
+  in
+  Sim.Link.set_on_dequeue link (fun _ -> ());
+  let p0 = mk_pkt 0 and p1 = mk_pkt 1 and p2 = mk_pkt 2 in
+  ignore (Sim.Link.enqueue link p0);
+  ignore (Sim.Link.enqueue link p1);
+  ignore (Sim.Link.enqueue link p2);
+  Alcotest.(check bool) "first unmarked" false p0.Sim.Packet.ce;
+  Alcotest.(check bool) "second unmarked (at threshold)" false p1.Sim.Packet.ce;
+  Alcotest.(check bool) "third marked" true p2.Sim.Packet.ce;
+  Alcotest.(check int) "mark counter" 1 (Sim.Link.ce_marks link)
+
+let test_link_rejects_double_aqm () =
+  let eq = Sim.Event_queue.create () in
+  Alcotest.(check bool) "both aqm args rejected" true
+    (try
+       ignore
+         (Sim.Link.create ~eq ~rate:(Sim.Link.Constant 1.) ~ecn_threshold:1
+            ~aqm:(Sim.Aqm.threshold ~mark_above:1) ~record_queue:false ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Trace-driven link (Mahimahi-style opportunities)                    *)
+(* ------------------------------------------------------------------ *)
+
+let opp = Sim.Link.Opportunities { times = [| 0.1; 0.5; 0.9 |]; period = 1.; bytes = 1500 }
+
+let test_opportunities_transmit_end () =
+  check_float "first" 0.1 (Sim.Link.transmit_end opp ~start:0. ~bytes:1500);
+  check_float "strictly after" 0.5 (Sim.Link.transmit_end opp ~start:0.1 ~bytes:1500);
+  check_float "wraps" 1.1 (Sim.Link.transmit_end opp ~start:0.95 ~bytes:1500);
+  check_float "second cycle" 1.5 (Sim.Link.transmit_end opp ~start:1.2 ~bytes:1500)
+
+let test_opportunities_rate_at () =
+  check_float "average rate" 4500. (Sim.Link.rate_at opp 123.)
+
+let test_opportunities_service () =
+  let eq = Sim.Event_queue.create () in
+  let link = Sim.Link.create ~eq ~rate:opp ~record_queue:false () in
+  let served_at = ref [] in
+  Sim.Link.set_on_dequeue link (fun _ -> served_at := Sim.Event_queue.now eq :: !served_at);
+  for i = 0 to 3 do
+    ignore (Sim.Link.enqueue link (mk_pkt i))
+  done;
+  Sim.Event_queue.run eq;
+  Alcotest.(check (list (float 1e-9))) "served at opportunity instants"
+    [ 0.1; 0.5; 0.9; 1.1 ] (List.rev !served_at)
+
+let test_opportunities_strict_advance_far_from_origin () =
+  (* Regression: at large absolute times, [base + times.(i)] can round to
+     exactly [start]; the lookup must keep advancing rather than serving
+     infinite packets in zero time. *)
+  let times = Array.init 991 (fun i -> Float.of_int i *. 0.00201817) in
+  let trace = Sim.Link.Opportunities { times; period = 2.; bytes = 1500 } in
+  let t = ref 1000.0 (* far from the origin *) in
+  for _ = 1 to 5000 do
+    let next = Sim.Link.transmit_end trace ~start:!t ~bytes:1500 in
+    Alcotest.(check bool) "strictly advances" true (next > !t);
+    t := next
+  done;
+  (* 5000 packets at ~495.5 opportunities/s take ~10.1 s. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "rate respected (reached %.2f)" !t)
+    true
+    (!t -. 1000. > 9.)
+
+let test_cellular_trace_mean_rate () =
+  let rng = Sim.Rng.create ~seed:5 in
+  let mean_rate = Sim.Units.mbps 12. in
+  let trace =
+    Sim.Link.cellular_trace ~rng ~period:2. ~mean_rate ~burstiness:4. ()
+  in
+  let avg = Sim.Link.rate_at trace 0. in
+  Alcotest.(check bool)
+    (Printf.sprintf "avg %.0f within 25%% of %.0f" avg mean_rate)
+    true
+    (Float.abs (avg -. mean_rate) < 0.25 *. mean_rate);
+  match trace with
+  | Sim.Link.Opportunities { times; period; _ } ->
+      Alcotest.(check bool) "times sorted in [0, period)" true
+        (Array.for_all (fun t -> t >= 0. && t < period) times
+        &&
+        let ok = ref true in
+        for i = 1 to Array.length times - 1 do
+          if times.(i) < times.(i - 1) then ok := false
+        done;
+        !ok)
+  | _ -> Alcotest.fail "expected an opportunity trace"
+
+let test_mahimahi_loader () =
+  let path = Filename.temp_file "mmtrace" ".trace" in
+  let oc = open_out path in
+  output_string oc "# comment\n0\n1\n1\n3\n\n10\n";
+  close_out oc;
+  let trace = Sim.Link.load_mahimahi_trace path in
+  (match trace with
+  | Sim.Link.Opportunities { times; period; bytes } ->
+      Alcotest.(check int) "count" 5 (Array.length times);
+      check_float "period = last ms" 0.01 period;
+      Alcotest.(check int) "mtu" 1500 bytes;
+      (* Duplicate timestamps are legal (two opportunities in one ms). *)
+      check_float "first" 0. times.(0)
+  | _ -> Alcotest.fail "expected opportunities");
+  Sys.remove path
+
+let test_mahimahi_loader_rejects_garbage () =
+  let reject content =
+    let path = Filename.temp_file "mmtrace" ".trace" in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    let r =
+      try
+        ignore (Sim.Link.load_mahimahi_trace path);
+        false
+      with Invalid_argument _ -> true
+    in
+    Sys.remove path;
+    r
+  in
+  Alcotest.(check bool) "non-numeric" true (reject "abc\n");
+  Alcotest.(check bool) "negative" true (reject "-5\n");
+  Alcotest.(check bool) "unsorted" true (reject "5\n3\n");
+  Alcotest.(check bool) "empty" true (reject "# nothing\n")
+
+let test_bundled_trace_runs () =
+  (* The repo ships a synthetic cellular trace; a flow must push real
+     traffic through it.  Tests run from the build sandbox, so resolve the
+     path from the project root if needed. *)
+  let candidates = [ "data/cellular5s.trace"; "../data/cellular5s.trace";
+                     "../../data/cellular5s.trace"; "../../../data/cellular5s.trace" ] in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> () (* sandboxed layout without the data dir: nothing to check *)
+  | Some path ->
+      let trace = Sim.Link.load_mahimahi_trace path in
+      let cfg =
+        Sim.Network.config ~rate:trace ~buffer:(90 * 1500) ~rm:0.04 ~duration:10.
+          [ Sim.Network.flow (Cubic.make ()) ]
+      in
+      let net = Sim.Network.run_config cfg in
+      let u = Sim.Network.utilization net () in
+      Alcotest.(check bool) (Printf.sprintf "utilization %.2f" u) true (u > 0.5)
+
+let test_cellular_trace_validates () =
+  let rng = Sim.Rng.create ~seed:1 in
+  Alcotest.(check bool) "burstiness < 1 rejected" true
+    (try
+       ignore
+         (Sim.Link.cellular_trace ~rng ~period:1. ~mean_rate:1e6 ~burstiness:0.5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_reno_on_cellular_link () =
+  (* End to end: Reno should still push reasonable utilization through a
+     bursty opportunity trace. *)
+  let rng = Sim.Rng.create ~seed:9 in
+  let mean_rate = Sim.Units.mbps 12. in
+  let trace = Sim.Link.cellular_trace ~rng ~period:1. ~mean_rate ~burstiness:3. () in
+  let cfg =
+    Sim.Network.config ~rate:trace ~buffer:(60 * 1500) ~rm:0.04 ~duration:20.
+      [ Sim.Network.flow (Reno.make ()) ]
+  in
+  let net = Sim.Network.run_config cfg in
+  let u = Sim.Network.utilization net () in
+  Alcotest.(check bool) (Printf.sprintf "utilization %.2f > 0.5" u) true (u > 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* DRR scheduling                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_drr_rejects_bad_quantum () =
+  let eq = Sim.Event_queue.create () in
+  Alcotest.(check bool) "quantum 0 rejected" true
+    (try
+       ignore
+         (Sim.Link.create ~eq ~rate:(Sim.Link.Constant 1.)
+            ~discipline:(Sim.Link.Drr { quantum = 0 }) ~record_queue:false ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_drr_interleaves_backlogged_flows () =
+  (* Two flows dump 10 packets each simultaneously; DRR must alternate
+     service between them rather than draining flow 0 first. *)
+  let eq = Sim.Event_queue.create () in
+  let link =
+    Sim.Link.create ~eq ~rate:(Sim.Link.Constant 1500.)
+      ~discipline:(Sim.Link.Drr { quantum = 1500 }) ~record_queue:false ()
+  in
+  let order = ref [] in
+  Sim.Link.set_on_dequeue link (fun p -> order := p.Sim.Packet.flow :: !order);
+  for i = 0 to 9 do
+    ignore (Sim.Link.enqueue link (mk_pkt ~flow:0 ~size:1500 i));
+    ignore (Sim.Link.enqueue link (mk_pkt ~flow:1 ~size:1500 i))
+  done;
+  Sim.Event_queue.run eq;
+  let order = List.rev !order in
+  Alcotest.(check int) "all served" 20 (List.length order);
+  (* In any window of 4 consecutive services, both flows appear. *)
+  let arr = Array.of_list order in
+  for i = 0 to Array.length arr - 4 do
+    let window = Array.sub arr i 4 in
+    Alcotest.(check bool) "interleaved" true
+      (Array.exists (fun f -> f = 0) window && Array.exists (fun f -> f = 1) window)
+  done
+
+let test_drr_equal_service_unequal_demand () =
+  (* A greedy flow and a modest flow: the modest flow's packets must not
+     wait behind the greedy flow's whole backlog. *)
+  let eq = Sim.Event_queue.create () in
+  let link =
+    Sim.Link.create ~eq ~rate:(Sim.Link.Constant 15000.)
+      ~discipline:(Sim.Link.Drr { quantum = 1500 }) ~record_queue:false ()
+  in
+  let finish_time = Hashtbl.create 8 in
+  Sim.Link.set_on_dequeue link (fun p ->
+      Hashtbl.replace finish_time (p.Sim.Packet.flow, p.Sim.Packet.seq)
+        (Sim.Event_queue.now eq));
+  (* Greedy: 50 packets; modest: 2 packets, enqueued after the burst. *)
+  for i = 0 to 49 do
+    ignore (Sim.Link.enqueue link (mk_pkt ~flow:0 ~size:1500 i))
+  done;
+  for i = 0 to 1 do
+    ignore (Sim.Link.enqueue link (mk_pkt ~flow:1 ~size:1500 i))
+  done;
+  Sim.Event_queue.run eq;
+  let modest_done = Hashtbl.find finish_time (1, 1) in
+  let greedy_done = Hashtbl.find finish_time (0, 49) in
+  (* The modest flow's 2 packets finish within ~5 service slots, not after
+     the greedy flow's 50. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "modest at %.2fs long before greedy at %.2fs" modest_done
+       greedy_done)
+    true
+    (modest_done < 0.6 && greedy_done > 4.9)
+
+let test_drr_on_trace_link () =
+  (* The scheduler and the opportunity-trace service compose. *)
+  let eq = Sim.Event_queue.create () in
+  let link =
+    Sim.Link.create ~eq ~rate:opp ~discipline:(Sim.Link.Drr { quantum = 1500 })
+      ~record_queue:false ()
+  in
+  let served = ref [] in
+  Sim.Link.set_on_dequeue link (fun p -> served := p.Sim.Packet.flow :: !served);
+  for i = 0 to 2 do
+    (* Packet size equal to the quantum gives strict alternation. *)
+    ignore (Sim.Link.enqueue link (mk_pkt ~flow:0 ~size:1500 i));
+    ignore (Sim.Link.enqueue link (mk_pkt ~flow:1 ~size:1500 i))
+  done;
+  Sim.Event_queue.run eq;
+  let served = List.rev !served in
+  Alcotest.(check int) "all served" 6 (List.length served);
+  (* DRR interleaves: both flows appear within any 3 consecutive services
+     (flow 0's head start on the first opportunity shifts the phase, so
+     strict alternation from index 0 is not guaranteed). *)
+  let arr = Array.of_list served in
+  for i = 0 to Array.length arr - 3 do
+    let w = Array.sub arr i 3 in
+    Alcotest.(check bool) "window has both" true
+      (Array.exists (fun f -> f = 0) w && Array.exists (fun f -> f = 1) w)
+  done;
+  Alcotest.(check int) "flow 0 total" 3
+    (List.length (List.filter (fun f -> f = 0) served))
+
+let test_drr_work_conserving () =
+  (* One flow alone must get the full rate despite the scheduler. *)
+  let eq = Sim.Event_queue.create () in
+  let link =
+    Sim.Link.create ~eq ~rate:(Sim.Link.Constant 1500.)
+      ~discipline:(Sim.Link.Drr { quantum = 750 }) ~record_queue:false ()
+  in
+  let done_ = ref 0 in
+  Sim.Link.set_on_dequeue link (fun _ -> incr done_);
+  for i = 0 to 4 do
+    ignore (Sim.Link.enqueue link (mk_pkt ~flow:3 ~size:1500 i))
+  done;
+  Sim.Event_queue.run eq;
+  Alcotest.(check int) "all served" 5 !done_;
+  Alcotest.(check (float 1e-6)) "at full rate" 5. (Sim.Event_queue.now eq)
+
+(* ------------------------------------------------------------------ *)
+(* Flow behaviors                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_flow_rto_fires () =
+  (* A link that dies after the first packets: the flow must declare the
+     outstanding data lost via its retransmission timer and tell the CCA. *)
+  let rate = Sim.Link.Piecewise [| (0., 1.5e5); (0.05, 0.) |] in
+  let cfg =
+    Sim.Network.config ~rate ~rm:0.02 ~duration:3.
+      [ Sim.Network.flow (Reno.make ()) ]
+  in
+  let net = Sim.Network.run_config cfg in
+  let f = (Sim.Network.flows net).(0) in
+  Alcotest.(check bool) "losses recorded" true (Sim.Flow.lost_bytes f > 0);
+  (* The flow keeps probing the dead link with its post-timeout window, so
+     in-flight data is bounded by that one-segment window (plus the probe
+     in the queue), not by the original flight. *)
+  Alcotest.(check bool) "inflight collapsed to the timeout window" true
+    (Sim.Flow.inflight f <= 2 * 1500)
+
+let test_flow_initial_pacing_spreads_sends () =
+  (* With initial pacing at the link rate, the queue should never build
+     during the first flight. *)
+  let rate = Sim.Units.mbps 12. in
+  let run pacing =
+    let spec =
+      Sim.Network.flow ?initial_pacing:pacing (Cca.make_stub ~cwnd_bytes:1.5e6 ())
+    in
+    let cfg =
+      Sim.Network.config ~rate:(Sim.Link.Constant rate) ~rm:0.04 ~duration:0.5
+        ~record_queue:true [ spec ]
+    in
+    let net = Sim.Network.run_config cfg in
+    (* Initial pacing only covers the opening flight (until the first ACK
+       at ~Rm), so compare queue peaks within that window. *)
+    let qs =
+      Sim.Series.window_values
+        (Sim.Link.queue_series (Sim.Network.link net))
+        ~t0:0. ~t1:0.03
+    in
+    Array.fold_left Float.max 0. qs
+  in
+  let burst_peak = run None in
+  let paced_peak = run (Some rate) in
+  Alcotest.(check bool)
+    (Printf.sprintf "paced peak %.0f << burst peak %.0f" paced_peak burst_peak)
+    true
+    (paced_peak < burst_peak /. 10.)
+
+let test_flow_dupack_loss_detection () =
+  (* Drop exactly one packet mid-stream: packet-threshold detection must
+     report one dup-ack loss, not a timeout. *)
+  let losses = ref [] in
+  let base = Reno.make () in
+  let cca =
+    { base with
+      Cca.on_loss = (fun l -> losses := l :: !losses; base.Cca.on_loss l) }
+  in
+  let rate = Sim.Units.mbps 12. in
+  let spec = Sim.Network.flow ~loss_rate:0.002 cca in
+  let cfg =
+    Sim.Network.config ~rate:(Sim.Link.Constant rate) ~rm:0.02 ~duration:5. [ spec ]
+  in
+  ignore (Sim.Network.run_config cfg);
+  Alcotest.(check bool) "some losses" true (!losses <> []);
+  Alcotest.(check bool) "all dupack, no timeout" true
+    (List.for_all (fun (l : Cca.loss_info) -> l.kind = `Dupack) !losses);
+  Alcotest.(check bool) "send times attached" true
+    (List.for_all (fun (l : Cca.loss_info) -> l.lost_packets <> []) !losses)
+
+let test_flow_ce_propagates () =
+  (* ECN marks set by the link must reach the CCA via ack_info. *)
+  let saw_ce = ref false in
+  let base = Cca.make_stub ~cwnd_bytes:1.5e6 () in
+  let cca =
+    { base with
+      Cca.on_ack = (fun a -> if a.Cca.ecn_ce then saw_ce := true) }
+  in
+  let rate = Sim.Units.mbps 4. in
+  let cfg =
+    Sim.Network.config ~rate:(Sim.Link.Constant rate) ~ecn_threshold:3000 ~rm:0.02
+      ~duration:2.
+      [ Sim.Network.flow cca ]
+  in
+  ignore (Sim.Network.run_config cfg);
+  Alcotest.(check bool) "CE echoed to sender" true !saw_ce
+
+(* ------------------------------------------------------------------ *)
+(* Units                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_units_roundtrip () =
+  check_float_eps 1e-9 "mbps" 12. (Sim.Units.to_mbps (Sim.Units.mbps 12.));
+  check_float_eps 1e-9 "ms" 42. (Sim.Units.to_ms (Sim.Units.ms 42.));
+  Alcotest.(check int) "bdp" 60000
+    (Sim.Units.bdp_bytes ~rate:(Sim.Units.mbps 12.) ~rtt:0.04)
+
+(* ------------------------------------------------------------------ *)
+(* Network integration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_single ?buffer ?(duration = 20.) ?(rm = 0.04) ?(rate = Sim.Units.mbps 12.)
+    ?jitter ?jitter_bound ?ack_policy ?loss_rate cca =
+  let spec = Sim.Network.flow ?jitter ?jitter_bound ?ack_policy ?loss_rate cca in
+  Sim.Network.run_config
+    (Sim.Network.config ~rate:(Sim.Link.Constant rate) ?buffer ~rm ~duration [ spec ])
+
+let test_network_reno_utilizes () =
+  let rate = Sim.Units.mbps 12. in
+  let buffer = Sim.Units.bdp_bytes ~rate ~rtt:0.04 in
+  let net = run_single ~buffer (Reno.make ()) in
+  let u = Sim.Network.utilization net () in
+  Alcotest.(check bool) (Printf.sprintf "reno utilization %.2f > 0.8" u) true (u > 0.8)
+
+let test_network_vegas_queue_target () =
+  let net = run_single (Vegas.make ()) in
+  let f = (Sim.Network.flows net).(0) in
+  (* At 12 Mbit/s one packet takes 1 ms; Vegas keeps 2..4 packets queued,
+     plus the packet's own transmission time in the RTT. *)
+  let rtts = Sim.Series.window_values (Sim.Flow.rtt_series f) ~t0:15. ~t1:20. in
+  let mx = Array.fold_left Float.max 0. rtts in
+  let mn = Array.fold_left Float.min infinity rtts in
+  Alcotest.(check bool) "rtt stable in [42,46] ms" true
+    (mn >= 0.041 && mx <= 0.0461)
+
+let test_network_rtt_floor () =
+  (* No queueing: RTT can never fall below Rm + transmission time. *)
+  let net = run_single (Const_cwnd.make ~cwnd_packets:2. ()) in
+  let f = (Sim.Network.flows net).(0) in
+  let rtts = Sim.Series.values (Sim.Flow.rtt_series f) in
+  let mn = Array.fold_left Float.min infinity rtts in
+  let tx = 1500. /. Sim.Units.mbps 12. in
+  Alcotest.(check bool) "floor respected" true (mn >= 0.04 +. tx -. 1e-9)
+
+let test_network_two_flows_share () =
+  let rate = Sim.Units.mbps 12. in
+  let buffer = Sim.Units.bdp_bytes ~rate ~rtt:0.04 in
+  let cfg =
+    Sim.Network.config ~rate:(Sim.Link.Constant rate) ~buffer ~rm:0.04 ~duration:60.
+      [ Sim.Network.flow (Reno.make ()); Sim.Network.flow (Reno.make ()) ]
+  in
+  let net = Sim.Network.run_config cfg in
+  let xs = Sim.Network.throughputs net () in
+  let ratio = Float.max xs.(0) xs.(1) /. Float.min xs.(0) xs.(1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "reno/reno ratio %.2f < 2" ratio)
+    true (ratio < 2.)
+
+let test_network_constant_jitter_inflates_rtt () =
+  let net =
+    run_single ~jitter:(Sim.Jitter.Constant 0.01) ~jitter_bound:0.02
+      (Const_cwnd.make ~cwnd_packets:2. ())
+  in
+  let f = (Sim.Network.flows net).(0) in
+  let rtts = Sim.Series.window_values (Sim.Flow.rtt_series f) ~t0:10. ~t1:20. in
+  let mn = Array.fold_left Float.min infinity rtts in
+  Alcotest.(check bool) "rtt >= rm + jitter" true (mn >= 0.05)
+
+let test_network_random_loss_counted () =
+  let net = run_single ~loss_rate:0.1 ~duration:10. (Const_cwnd.make ()) in
+  Alcotest.(check bool) "losses happened" true ((Sim.Network.random_losses net).(0) > 0)
+
+let test_network_delayed_ack_timeout_flush () =
+  (* A 2-packet window with delayed ACKs of 4 would deadlock without the
+     timeout flush: the receiver holds 2 ACKs < count, the sender stalls.
+     The timeout must release them and keep the flow alive. *)
+  let spec =
+    Sim.Network.flow
+      ~ack_policy:(Sim.Network.Delayed { count = 4; timeout = 0.05 })
+      (Cca.make_stub ~cwnd_bytes:3000. ())
+  in
+  let cfg =
+    Sim.Network.config ~rate:(Sim.Link.Constant (Sim.Units.mbps 12.)) ~rm:0.04
+      ~duration:5. [ spec ]
+  in
+  let net = Sim.Network.run_config cfg in
+  let f = (Sim.Network.flows net).(0) in
+  Alcotest.(check bool) "flow made progress" true (Sim.Flow.delivered_bytes f > 30_000)
+
+let test_eq_schedule_after_negative_clamped () =
+  let eq = Sim.Event_queue.create () in
+  Sim.Event_queue.run_until eq 1.0;
+  let fired_at = ref nan in
+  Sim.Event_queue.schedule_after eq ~delay:(-5.) (fun () ->
+      fired_at := Sim.Event_queue.now eq);
+  Sim.Event_queue.run eq;
+  check_float "clamped to now" 1.0 !fired_at
+
+let test_network_delayed_ack_batches () =
+  (* With delayed ACKs of 4, the number of ACK events is about 1/4 the
+     packets; cumulative delivered bytes must still match. *)
+  let spec =
+    Sim.Network.flow
+      ~ack_policy:(Sim.Network.Delayed { count = 4; timeout = 0.5 })
+      (Const_cwnd.make ~cwnd_packets:8. ())
+  in
+  let cfg =
+    Sim.Network.config ~rate:(Sim.Link.Constant (Sim.Units.mbps 12.)) ~rm:0.04
+      ~duration:10. [ spec ]
+  in
+  let net = Sim.Network.run_config cfg in
+  let f = (Sim.Network.flows net).(0) in
+  let acks = Sim.Series.length (Sim.Flow.rtt_series f) in
+  let delivered_pkts = Sim.Flow.delivered_bytes f / 1500 in
+  Alcotest.(check bool)
+    (Printf.sprintf "acks %d ~ packets/4 %d" acks (delivered_pkts / 4))
+    true
+    (acks <= (delivered_pkts / 4) + 8)
+
+let test_network_ack_aggregation_quantizes () =
+  let period = 0.06 in
+  let spec =
+    Sim.Network.flow ~ack_policy:(Sim.Network.Aggregate { period })
+      (Const_cwnd.make ~cwnd_packets:4. ())
+  in
+  let cfg =
+    Sim.Network.config ~rate:(Sim.Link.Constant (Sim.Units.mbps 12.)) ~rm:0.04
+      ~duration:10. [ spec ]
+  in
+  let net = Sim.Network.run_config cfg in
+  let f = (Sim.Network.flows net).(0) in
+  let times = Sim.Series.times (Sim.Flow.rtt_series f) in
+  let on_grid t =
+    let k = Float.round (t /. period) in
+    Float.abs (t -. (k *. period)) < 1e-6
+  in
+  Alcotest.(check bool) "all acks on the grid" true (Array.for_all on_grid times)
+
+let test_network_initial_queue_delays_first_rtt () =
+  (* Phantom bytes create an initial standing queue. *)
+  let spec = Sim.Network.flow (Const_cwnd.make ~cwnd_packets:1. ()) in
+  let rate = Sim.Units.mbps 12. in
+  let cfg =
+    Sim.Network.config ~rate:(Sim.Link.Constant rate) ~rm:0.04 ~duration:5.
+      ~initial_queue_bytes:15000 [ spec ]
+  in
+  let net = Sim.Network.run_config cfg in
+  let f = (Sim.Network.flows net).(0) in
+  match Sim.Series.first (Sim.Flow.rtt_series f) with
+  | None -> Alcotest.fail "no rtt sample"
+  | Some (_, rtt) ->
+      (* 15000 B at 1.5e6 B/s = 10 ms of initial queueing. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "first rtt %.4f >= 0.05" rtt)
+        true (rtt >= 0.05)
+
+let test_flow_inspect_series () =
+  let rate = Sim.Units.mbps 12. in
+  let spec = Sim.Network.flow ~inspect_period:0.1 (Vegas.make ()) in
+  let cfg =
+    Sim.Network.config ~rate:(Sim.Link.Constant rate) ~rm:0.02 ~duration:2. [ spec ]
+  in
+  let net = Sim.Network.run_config cfg in
+  let f = (Sim.Network.flows net).(0) in
+  let series = Sim.Flow.inspect_series f in
+  Alcotest.(check bool) "has cwnd internal" true (List.mem_assoc "cwnd" series);
+  let cwnd = List.assoc "cwnd" series in
+  Alcotest.(check bool)
+    (Printf.sprintf "~20 samples, got %d" (Sim.Series.length cwnd))
+    true
+    (Sim.Series.length cwnd >= 15 && Sim.Series.length cwnd <= 25)
+
+let test_network_config_validation () =
+  let mk_cfg ?(flows = [ Sim.Network.flow (Reno.make ()) ]) ?(duration = 1.)
+      ?(rm = 0.01) ?loss_rate () =
+    let flows =
+      match loss_rate with
+      | Some p -> [ Sim.Network.flow ~loss_rate:p (Reno.make ()) ]
+      | None -> flows
+    in
+    Sim.Network.config ~rate:(Sim.Link.Constant 1e6) ~rm ~duration flows
+  in
+  let rejects f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "empty flows" true (rejects (fun () -> mk_cfg ~flows:[] ()));
+  Alcotest.(check bool) "zero duration" true (rejects (fun () -> mk_cfg ~duration:0. ()));
+  Alcotest.(check bool) "negative rm" true (rejects (fun () -> mk_cfg ~rm:(-0.1) ()));
+  Alcotest.(check bool) "loss rate 1" true (rejects (fun () -> mk_cfg ~loss_rate:1. ()));
+  Alcotest.(check bool) "stop before start" true
+    (rejects (fun () ->
+         Sim.Network.config ~rate:(Sim.Link.Constant 1e6) ~rm:0.01 ~duration:1.
+           [ Sim.Network.flow ~start_time:5. ~stop_time:4. (Reno.make ()) ]));
+  (* And a valid config passes. *)
+  ignore (mk_cfg ())
+
+let test_network_deterministic () =
+  let mk () =
+    let rate = Sim.Units.mbps 12. in
+    let buffer = Sim.Units.bdp_bytes ~rate ~rtt:0.04 in
+    Sim.Network.run_config
+      (Sim.Network.config ~rate:(Sim.Link.Constant rate) ~buffer ~rm:0.04
+         ~duration:20. ~seed:9
+         [
+           Sim.Network.flow ~loss_rate:0.01 (Reno.make ());
+           Sim.Network.flow (Cubic.make ());
+         ])
+  in
+  let a = Sim.Network.throughputs (mk ()) () in
+  let b = Sim.Network.throughputs (mk ()) () in
+  check_float "flow0 identical" a.(0) b.(0);
+  check_float "flow1 identical" a.(1) b.(1)
+
+let test_network_accessor_lengths () =
+  let cfg =
+    Sim.Network.config ~rate:(Sim.Link.Constant 1e6) ~rm:0.01 ~duration:1.
+      [ Sim.Network.flow (Reno.make ()); Sim.Network.flow (Reno.make ());
+        Sim.Network.flow (Reno.make ()) ]
+  in
+  let net = Sim.Network.run_config cfg in
+  Alcotest.(check int) "flows" 3 (Array.length (Sim.Network.flows net));
+  Alcotest.(check int) "jitters" 3 (Array.length (Sim.Network.jitters net));
+  Alcotest.(check int) "random losses" 3 (Array.length (Sim.Network.random_losses net));
+  Array.iter
+    (fun n -> Alcotest.(check int) "no random losses configured" 0 n)
+    (Sim.Network.random_losses net);
+  Alcotest.(check int) "throughputs" 3
+    (Array.length (Sim.Network.throughputs net ()))
+
+let test_network_flow_start_stop () =
+  let rate = Sim.Units.mbps 12. in
+  let buffer = Sim.Units.bdp_bytes ~rate ~rtt:0.04 in
+  let cfg =
+    Sim.Network.config ~rate:(Sim.Link.Constant rate) ~buffer ~rm:0.04 ~duration:30.
+      [
+        Sim.Network.flow (Reno.make ());
+        Sim.Network.flow ~start_time:10. ~stop_time:20. (Reno.make ());
+      ]
+  in
+  let net = Sim.Network.run_config cfg in
+  let late = (Sim.Network.flows net).(1) in
+  let x_before = Sim.Flow.throughput late ~t0:0. ~t1:10. in
+  let x_during = Sim.Flow.throughput late ~t0:12. ~t1:20. in
+  let x_after = Sim.Flow.throughput late ~t0:25. ~t1:30. in
+  Alcotest.(check bool) "silent before start" true (x_before = 0.);
+  Alcotest.(check bool) "active during window" true (x_during > 0.);
+  Alcotest.(check bool) "silent after stop" true (x_after < x_during /. 10.)
+
+(* Integration property: random small scenarios must respect physical
+   invariants — capacity, nonnegative inflight, RTT floor. *)
+let prop_network_physical_invariants =
+  QCheck.Test.make ~name:"random scenarios respect capacity and RTT floor" ~count:25
+    QCheck.(
+      quad (int_range 0 3) (* cca selector *)
+        (float_range 2. 24.) (* Mbit/s *)
+        (float_range 0.005 0.08) (* rm *)
+        (float_range 0. 0.01) (* jitter bound *))
+    (fun (cca_i, mbps, rm, jit) ->
+      let make_cca () =
+        match cca_i with
+        | 0 -> Reno.make ()
+        | 1 -> Vegas.make ()
+        | 2 -> Copa.make ()
+        | _ -> Fast_tcp.make ()
+      in
+      let rate = Sim.Units.mbps mbps in
+      let duration = 5. in
+      let jitter =
+        if jit > 0. then Some (Sim.Jitter.Uniform { lo = 0.; hi = jit }) else None
+      in
+      let cfg =
+        Sim.Network.config ~rate:(Sim.Link.Constant rate)
+          ~buffer:(4 * Sim.Units.bdp_bytes ~rate ~rtt:rm)
+          ~rm ~duration
+          [
+            Sim.Network.flow ?jitter ~jitter_bound:jit (make_cca ());
+            Sim.Network.flow (make_cca ());
+          ]
+      in
+      let net = Sim.Network.run_config cfg in
+      let flows = Sim.Network.flows net in
+      let total_delivered =
+        Array.fold_left (fun acc f -> acc + Sim.Flow.delivered_bytes f) 0 flows
+      in
+      (* Capacity: the link can serve at most rate * duration (+1 pkt). *)
+      let capacity_ok = float_of_int total_delivered <= (rate *. duration) +. 1500. in
+      let inflight_ok = Array.for_all (fun f -> Sim.Flow.inflight f >= 0) flows in
+      let floor = rm +. (1500. /. rate) -. 1e-9 in
+      let rtt_ok =
+        Array.for_all
+          (fun f ->
+            Array.for_all (fun v -> v >= floor)
+              (Sim.Series.values (Sim.Flow.rtt_series f)))
+          flows
+      in
+      capacity_ok && inflight_ok && rtt_ok)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "pop_exn empty" `Quick test_heap_pop_exn_empty;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "to_sorted preserves" `Quick test_heap_to_sorted_preserves;
+          qt prop_heap_sorts;
+          qt prop_heap_interleaved;
+        ] );
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_eq_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_eq_fifo_ties;
+          Alcotest.test_case "past rejected" `Quick test_eq_past_rejected;
+          Alcotest.test_case "nested" `Quick test_eq_nested_scheduling;
+          Alcotest.test_case "run_until excludes future" `Quick
+            test_eq_run_until_excludes_future;
+          Alcotest.test_case "schedule_after clamps" `Quick
+            test_eq_schedule_after_negative_clamped;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "bool probability" `Quick test_rng_bool_probability;
+          qt prop_rng_float_range;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "online" `Quick test_online_stats;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile single" `Quick test_percentile_single;
+          Alcotest.test_case "percentile invalid" `Quick test_percentile_invalid;
+          Alcotest.test_case "jain" `Quick test_jain;
+          Alcotest.test_case "max min ratio" `Quick test_max_min_ratio;
+          qt prop_jain_bounds;
+          qt prop_online_matches_batch_mean;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "value_at" `Quick test_series_value_at;
+          Alcotest.test_case "rejects decreasing" `Quick test_series_rejects_decreasing;
+          Alcotest.test_case "integral" `Quick test_series_integral;
+          Alcotest.test_case "window" `Quick test_series_window;
+          Alcotest.test_case "resample" `Quick test_series_resample;
+          Alcotest.test_case "map" `Quick test_series_map;
+          Alcotest.test_case "first last" `Quick test_series_first_last;
+          qt prop_series_integral_additive;
+        ] );
+      ( "jitter",
+        [
+          Alcotest.test_case "constant" `Quick test_jitter_constant;
+          Alcotest.test_case "trace policy" `Quick test_jitter_trace_policy;
+          Alcotest.test_case "no reorder" `Quick test_jitter_no_reorder;
+          Alcotest.test_case "clamps and counts" `Quick test_jitter_clamps_and_counts;
+          Alcotest.test_case "negative clamped" `Quick test_jitter_negative_clamped;
+          qt prop_jitter_uniform_in_bounds;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "rate_at piecewise" `Quick test_rate_at_piecewise;
+          Alcotest.test_case "transmit constant" `Quick test_transmit_end_constant;
+          Alcotest.test_case "transmit across segments" `Quick
+            test_transmit_end_across_segments;
+          Alcotest.test_case "transmit through zero" `Quick
+            test_transmit_end_through_zero;
+          Alcotest.test_case "dead link" `Quick test_transmit_end_dead_link;
+          Alcotest.test_case "fifo service" `Quick test_link_fifo_service;
+          Alcotest.test_case "drop tail" `Quick test_link_drop_tail;
+          Alcotest.test_case "queue delay" `Quick test_link_queue_delay;
+          QCheck_alcotest.to_alcotest prop_link_conserves_bytes;
+          QCheck_alcotest.to_alcotest prop_transmit_end_consistent_with_rate;
+        ] );
+      ( "aqm",
+        [
+          Alcotest.test_case "threshold" `Quick test_aqm_threshold;
+          Alcotest.test_case "red regimes" `Quick test_aqm_red_regimes;
+          Alcotest.test_case "red validates" `Quick test_aqm_red_validates;
+          Alcotest.test_case "codel" `Quick test_aqm_codel;
+          Alcotest.test_case "codel accelerates" `Quick test_aqm_codel_accelerates;
+          Alcotest.test_case "red monotone" `Quick test_aqm_red_monotone_in_depth;
+          Alcotest.test_case "link marking" `Quick test_link_ecn_marking;
+          Alcotest.test_case "double aqm rejected" `Quick test_link_rejects_double_aqm;
+        ] );
+      ( "trace-link",
+        [
+          Alcotest.test_case "transmit_end" `Quick test_opportunities_transmit_end;
+          Alcotest.test_case "rate_at" `Quick test_opportunities_rate_at;
+          Alcotest.test_case "service at opportunities" `Quick test_opportunities_service;
+          Alcotest.test_case "strict advance far from origin" `Quick
+            test_opportunities_strict_advance_far_from_origin;
+          Alcotest.test_case "cellular mean rate" `Quick test_cellular_trace_mean_rate;
+          Alcotest.test_case "cellular validates" `Quick test_cellular_trace_validates;
+          Alcotest.test_case "mahimahi loader" `Quick test_mahimahi_loader;
+          Alcotest.test_case "mahimahi rejects garbage" `Quick
+            test_mahimahi_loader_rejects_garbage;
+          Alcotest.test_case "bundled trace" `Quick test_bundled_trace_runs;
+          Alcotest.test_case "reno end-to-end" `Quick test_reno_on_cellular_link;
+        ] );
+      ( "drr",
+        [
+          Alcotest.test_case "bad quantum" `Quick test_drr_rejects_bad_quantum;
+          Alcotest.test_case "interleaves" `Quick test_drr_interleaves_backlogged_flows;
+          Alcotest.test_case "unequal demand" `Quick test_drr_equal_service_unequal_demand;
+          Alcotest.test_case "work conserving" `Quick test_drr_work_conserving;
+          Alcotest.test_case "drr on trace link" `Quick test_drr_on_trace_link;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "rto fires" `Quick test_flow_rto_fires;
+          Alcotest.test_case "initial pacing" `Quick test_flow_initial_pacing_spreads_sends;
+          Alcotest.test_case "dupack detection" `Quick test_flow_dupack_loss_detection;
+          Alcotest.test_case "ce propagates" `Quick test_flow_ce_propagates;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_units_roundtrip;
+          Alcotest.test_case "extras" `Quick test_units_extras;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "reno utilizes" `Quick test_network_reno_utilizes;
+          Alcotest.test_case "vegas queue target" `Quick test_network_vegas_queue_target;
+          Alcotest.test_case "rtt floor" `Quick test_network_rtt_floor;
+          Alcotest.test_case "two reno share" `Quick test_network_two_flows_share;
+          Alcotest.test_case "constant jitter inflates rtt" `Quick
+            test_network_constant_jitter_inflates_rtt;
+          Alcotest.test_case "random loss counted" `Quick test_network_random_loss_counted;
+          Alcotest.test_case "delayed acks batch" `Quick test_network_delayed_ack_batches;
+          Alcotest.test_case "delayed ack timeout flush" `Quick
+            test_network_delayed_ack_timeout_flush;
+          Alcotest.test_case "ack aggregation quantizes" `Quick
+            test_network_ack_aggregation_quantizes;
+          Alcotest.test_case "initial queue" `Quick
+            test_network_initial_queue_delays_first_rtt;
+          Alcotest.test_case "inspect series" `Quick test_flow_inspect_series;
+          Alcotest.test_case "config validation" `Quick test_network_config_validation;
+          Alcotest.test_case "deterministic" `Quick test_network_deterministic;
+          Alcotest.test_case "accessor lengths" `Quick test_network_accessor_lengths;
+          Alcotest.test_case "start stop" `Quick test_network_flow_start_stop;
+          qt prop_network_physical_invariants;
+        ] );
+    ]
