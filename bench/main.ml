@@ -196,6 +196,28 @@ let bench_small_sim () =
   in
   ignore (Sim.Network.run_config cfg)
 
+let bench_faulted_sim () =
+  (* Same 1 s Reno run, but through a blackout + bursty-loss fault plan
+     with the invariant monitor auditing at 10 ms: the price of the
+     robustness layer on the hot path. *)
+  let rate = Sim.Units.mbps 12. in
+  let faults =
+    Sim.Fault.plan
+      [
+        Sim.Fault.Link_blackout { t0 = 0.4; t1 = 0.55 };
+        Sim.Fault.Bursty_loss
+          { flow = 0; t0 = 0.; t1 = 1.; p_enter = 0.02; p_exit = 0.3;
+            loss_good = 0.; loss_bad = 0.3 };
+      ]
+  in
+  let cfg =
+    Sim.Network.config ~rate:(Sim.Link.Constant rate)
+      ~buffer:(Sim.Units.bdp_bytes ~rate ~rtt:0.04) ~rm:0.04 ~duration:1.
+      ~faults ~monitor_period:0.01
+      [ Sim.Network.flow (Reno.make ()) ]
+  in
+  ignore (Sim.Network.run_config cfg)
+
 let microbenches () =
   let tests =
     [
@@ -207,6 +229,7 @@ let microbenches () =
       Test.make ~name:"bbr 100 acks" (Staged.stage (bench_cca (fun () -> Bbr.make ())));
       Test.make ~name:"cubic 100 acks" (Staged.stage (bench_cca (fun () -> Cubic.make ())));
       Test.make ~name:"reno 1s simulated" (Staged.stage bench_small_sim);
+      Test.make ~name:"reno 1s faulted+monitored" (Staged.stage bench_faulted_sim);
       Test.make ~name:"drr link 500 pkts" (Staged.stage bench_drr_link);
       Test.make ~name:"opportunity lookup 1k" (Staged.stage bench_opportunity_lookup);
     ]

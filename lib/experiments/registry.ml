@@ -38,6 +38,8 @@ let all =
       run = (fun ~quick -> Exp_robustness.run ~quick ()) };
     { key = "matrix"; title = "E17: cross-CCA summary matrix";
       run = (fun ~quick -> Exp_matrix.run ~quick ()) };
+    { key = "faults"; title = "E18: fault-scenario matrix (recovery + invariants)";
+      run = (fun ~quick -> Exp_faults.run ~quick ()) };
   ]
 
 let find key = List.find_opt (fun e -> e.key = key) all

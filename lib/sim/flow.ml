@@ -25,6 +25,8 @@ type t = {
   mutable srtt : float;
   mutable rttvar : float;
   mutable running : bool;
+  mutable degraded : int; (* insane CCA outputs clamped *)
+  mutable stall_probes : int; (* forced probe segments after a stall *)
   rtt_series : Series.t;
   cwnd_series : Series.t;
   delivered_series : Series.t;
@@ -41,6 +43,11 @@ let delivered_bytes t = t.delivered
 let lost_bytes t = t.lost
 let inflight t = t.inflight
 let rtt_series t = t.rtt_series
+let degraded_count t = t.degraded
+let stall_probes t = t.stall_probes
+
+let outstanding_bytes t =
+  Hashtbl.fold (fun _ r acc -> acc + r.size) t.outstanding 0
 
 let inspect_series t =
   (* [inspect_keys] is newest-first; report in insertion order. *)
@@ -55,6 +62,29 @@ let stopped t =
   match t.stop_time with Some st -> now t >= st | None -> false
 
 let rto t = Float.max t.min_rto (t.srtt +. (4. *. t.rttvar))
+
+(* --- CCA output sanitization -------------------------------------------- *)
+
+(* A buggy or degenerate CCA can emit a NaN or negative window / pacing
+   rate.  Rather than corrupting the run (NaN comparisons silently fail
+   and wedge the send loop), clamp to a sane value and count it; the
+   invariant monitor reports the tally as a [cca-sane] violation. *)
+
+let effective_cwnd t =
+  let c = t.cca.Cca.cwnd () in
+  if Float.is_nan c || c < 0. then begin
+    t.degraded <- t.degraded + 1;
+    float_of_int t.mss
+  end
+  else c
+
+let effective_pacing t =
+  match t.cca.Cca.pacing_rate () with
+  | Some r when Float.is_finite r && r > 0. -> Some r
+  | Some r when Float.is_nan r || r < 0. ->
+      t.degraded <- t.degraded + 1;
+      if t.got_first_ack then None else t.initial_pacing
+  | Some _ | None -> if t.got_first_ack then None else t.initial_pacing
 
 (* --- CCA timer plumbing ------------------------------------------------- *)
 
@@ -111,16 +141,12 @@ and send_packet t =
 
 and maybe_send t =
   if t.running && not (stopped t) then begin
-    let cwnd = t.cca.Cca.cwnd () in
+    let cwnd = effective_cwnd t in
     if float_of_int t.inflight +. float_of_int t.mss <= cwnd +. 1e-6 then begin
       let time = now t in
       if t.next_send_time <= time +. 1e-12 then begin
         send_packet t;
-        let pacing =
-          match t.cca.Cca.pacing_rate () with
-          | Some r when r > 0. -> Some r
-          | Some _ | None -> if t.got_first_ack then None else t.initial_pacing
-        in
+        let pacing = effective_pacing t in
         (match pacing with
         | Some r when r > 0. ->
             t.next_send_time <- Float.max time t.next_send_time +. (float_of_int t.mss /. r)
@@ -152,21 +178,35 @@ and schedule_rto t =
 
 and check_rto t =
   t.rto_pending <- false;
-  if t.inflight > 0 then begin
+  let active = t.running && not (stopped t) in
+  if t.inflight > 0 || active then begin
     if now t -. t.last_progress >= rto t -. 1e-9 then begin
-      (* Timeout: declare everything outstanding lost. *)
-      let lost_bytes = t.inflight in
-      let lost_packets =
-        Hashtbl.fold (fun _ r acc -> (r.sent_at, r.size) :: acc) t.outstanding []
-      in
-      Hashtbl.reset t.outstanding;
-      t.inflight <- 0;
-      t.lost <- t.lost + lost_bytes;
-      t.last_progress <- now t;
-      t.cca.Cca.on_loss
-        { Cca.now = now t; lost_bytes; lost_packets; inflight = 0; kind = `Timeout };
-      sync_timer t;
-      maybe_send t
+      if t.inflight > 0 then begin
+        (* Timeout: declare everything outstanding lost. *)
+        let lost_bytes = t.inflight in
+        let lost_packets =
+          Hashtbl.fold (fun _ r acc -> (r.sent_at, r.size) :: acc) t.outstanding []
+        in
+        Hashtbl.reset t.outstanding;
+        t.inflight <- 0;
+        t.lost <- t.lost + lost_bytes;
+        t.last_progress <- now t;
+        t.cca.Cca.on_loss
+          { Cca.now = now t; lost_bytes; lost_packets; inflight = 0; kind = `Timeout };
+        sync_timer t
+      end;
+      maybe_send t;
+      if t.inflight = 0 && active then begin
+        (* Stall probe: a full RTO elapsed with nothing outstanding and
+           the CCA's window or pacing gate still refuses to send — e.g.
+           the window collapsed below one segment after ACKs vanished in
+           a blackout.  Force one segment out so ACK feedback (or the
+           next timeout) can restart the control loop instead of
+           deadlocking the flow. *)
+        t.stall_probes <- t.stall_probes + 1;
+        t.next_send_time <- now t;
+        send_packet t
+      end
     end;
     if t.inflight > 0 then schedule_rto t
   end
@@ -214,6 +254,8 @@ let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
       srtt = 0.;
       rttvar = 0.;
       running = false;
+      degraded = 0;
+      stall_probes = 0;
       rtt_series = Series.create ~name:(Printf.sprintf "flow%d.rtt" id) ();
       cwnd_series = Series.create ~name:(Printf.sprintf "flow%d.cwnd" id) ();
       delivered_series = Series.create ~name:(Printf.sprintf "flow%d.delivered" id) ();
@@ -225,6 +267,9 @@ let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
       t.running <- true;
       t.next_send_time <- start_time;
       maybe_send t;
+      (* Watchdog: if the CCA refused the very first send, the stall
+         probe in [check_rto] gets the flow moving after one RTO. *)
+      if t.inflight = 0 then schedule_rto t;
       sync_timer t);
   (match inspect_period with
   | Some period when period > 0. ->
@@ -329,7 +374,11 @@ let receive_ack t (deliveries : Packet.delivery list) =
         Series.add t.delivered_series ~time (float_of_int t.delivered);
         detect_losses t;
         sync_timer t;
-        maybe_send t
+        maybe_send t;
+        (* If this ACK emptied the pipe and the CCA still refuses to
+           send (window below one segment), keep the RTO chain alive so
+           the stall probe can recover the flow. *)
+        if t.inflight = 0 && t.running && not (stopped t) then schedule_rto t
       end
 
 let throughput t ~t0 ~t1 =

@@ -53,6 +53,20 @@ val delivered_bytes : t -> int
 val lost_bytes : t -> int
 val inflight : t -> int
 
+val outstanding_bytes : t -> int
+(** Bytes in the retransmission bookkeeping table.  Always equals
+    {!inflight}; the invariant monitor cross-checks the two. *)
+
+val degraded_count : t -> int
+(** How often an insane CCA output (NaN or negative cwnd / pacing rate)
+    was clamped instead of corrupting the run. *)
+
+val stall_probes : t -> int
+(** Probe segments forced out after a full RTO passed with nothing
+    outstanding and the CCA's gates still refusing to send — the
+    graceful-degradation path that recovers a flow from a collapsed
+    window (e.g. after a link blackout ate every ACK). *)
+
 val throughput : t -> t0:float -> t1:float -> float
 (** Mean delivery rate (bytes/s) over the interval, from the cumulative
     delivered-bytes trace. *)

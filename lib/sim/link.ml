@@ -227,7 +227,7 @@ let cellular_trace ~rng ~period ?(bytes = 1500) ~mean_rate ~burstiness () =
 type t = {
   eq : Event_queue.t;
   rate : rate;
-  buffer : int option;
+  mutable buffer : int option;
   aqm : Aqm.t option;
   sched : sched;
   mutable on_dequeue : Packet.t -> unit;
@@ -235,6 +235,8 @@ type t = {
   mutable busy : bool;
   mutable drops : int;
   mutable ce_marks : int;
+  mutable offered_bytes : int;
+  mutable dropped_bytes : int;
   mutable delivered_bytes : int;
   record_queue : bool;
   queue_series : Series.t;
@@ -261,6 +263,8 @@ let create ~eq ~rate ?buffer ?ecn_threshold ?aqm ?(discipline = Fifo) ~record_qu
     busy = false;
     drops = 0;
     ce_marks = 0;
+    offered_bytes = 0;
+    dropped_bytes = 0;
     delivered_bytes = 0;
     record_queue;
     queue_series = Series.create ~name:"queue_bytes" ();
@@ -310,6 +314,7 @@ let rec start_service t =
   end
 
 let enqueue t pkt =
+  t.offered_bytes <- t.offered_bytes + pkt.Packet.size;
   let fits =
     match t.buffer with
     | None -> true
@@ -317,6 +322,7 @@ let enqueue t pkt =
   in
   if not fits then begin
     t.drops <- t.drops + 1;
+    t.dropped_bytes <- t.dropped_bytes + pkt.Packet.size;
     `Dropped
   end
   else begin
@@ -343,5 +349,14 @@ let queue_delay t =
 
 let drops t = t.drops
 let ce_marks t = t.ce_marks
+let offered_bytes t = t.offered_bytes
+let dropped_bytes t = t.dropped_bytes
 let delivered_bytes t = t.delivered_bytes
 let queue_series t = t.queue_series
+let buffer t = t.buffer
+
+let set_buffer t buffer =
+  (match buffer with
+  | Some b when b < 0 -> invalid_arg "Link.set_buffer: negative buffer"
+  | _ -> ());
+  t.buffer <- buffer

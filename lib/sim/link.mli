@@ -83,6 +83,22 @@ val drops : t -> int
 val ce_marks : t -> int
 (** Packets marked congestion-experienced so far. *)
 
+val offered_bytes : t -> int
+(** Total bytes presented to {!enqueue} (admitted or dropped). *)
+
+val dropped_bytes : t -> int
+(** Bytes rejected by the drop-tail buffer.  Conservation invariant:
+    [offered_bytes = delivered_bytes + dropped_bytes + queued_bytes]. *)
+
 val delivered_bytes : t -> int
 val queue_series : t -> Series.t
 (** Occupancy trace (bytes); empty unless [record_queue] was set. *)
+
+val buffer : t -> int option
+(** Current drop-tail capacity ([None] = unbounded). *)
+
+val set_buffer : t -> int option -> unit
+(** Resize the drop-tail buffer mid-run (fault injection).  Queued
+    packets are never evicted; a shrink below the current occupancy only
+    blocks new admissions until the queue drains below the new cap.
+    @raise Invalid_argument on a negative size. *)

@@ -47,28 +47,44 @@ type config = {
   seed : int;
   record_queue : bool;
   initial_queue_bytes : int;
+  faults : Fault.plan;
+  monitor_period : float option;
 }
 
 let config ~rate ?buffer ?ecn_threshold ?aqm ?(discipline = Link.Fifo) ~rm
     ?(seed = 42) ?(record_queue = false) ?(initial_queue_bytes = 0) ?(t0 = 0.)
-    ~duration flows =
+    ?(faults = Fault.none) ?monitor_period ~duration flows =
   if flows = [] then invalid_arg "Network.config: at least one flow required";
   if duration <= 0. then invalid_arg "Network.config: duration must be positive";
   if rm < 0. then invalid_arg "Network.config: negative propagation delay";
   if initial_queue_bytes < 0 then
     invalid_arg "Network.config: negative initial queue";
+  (match monitor_period with
+  | Some p when not (p > 0.) ->
+      invalid_arg "Network.config: monitor_period must be positive"
+  | Some _ | None -> ());
   List.iter
     (fun f ->
       if f.loss_rate < 0. || f.loss_rate >= 1. then
         invalid_arg "Network.config: loss_rate must be in [0, 1)";
       if f.extra_rm < 0. then invalid_arg "Network.config: negative extra_rm";
+      (match f.ack_policy with
+      | Immediate -> ()
+      | Delayed { count; timeout } ->
+          if count < 1 then
+            invalid_arg "Network.config: Delayed ack count must be >= 1";
+          if not (timeout > 0.) then
+            invalid_arg "Network.config: Delayed ack timeout must be positive"
+      | Aggregate { period } ->
+          if not (period > 0.) then
+            invalid_arg "Network.config: Aggregate ack period must be positive");
       match f.stop_time with
       | Some st when st <= f.start_time ->
           invalid_arg "Network.config: stop_time before start_time"
       | Some _ | None -> ())
     flows;
   { rate; buffer; ecn_threshold; aqm; discipline; rm; flows; t0; duration; seed;
-    record_queue; initial_queue_bytes }
+    record_queue; initial_queue_bytes; faults; monitor_period }
 
 (* Per-flow delayed-ACK accumulator. *)
 type delack_state = {
@@ -80,9 +96,13 @@ type t = {
   cfg : config;
   eq : Event_queue.t;
   link : Link.t;
+  effective_rate : Link.rate;
   flows : Flow.t array;
   jitters : Jitter.t array;
   random_losses : int array;
+  faults : Fault.t option;
+  invariant : Invariant.t option;
+  audit : unit -> unit;
   mutable ran : bool;
 }
 
@@ -91,13 +111,25 @@ let link t = t.link
 let flows t = t.flows
 let jitters t = t.jitters
 let random_losses t = t.random_losses
+let invariant t = t.invariant
+
+let fault_data_drops t =
+  match t.faults with
+  | Some f -> Fault.data_drops f
+  | None -> Array.make (Array.length t.flows) 0
+
+let fault_ack_drops t =
+  match t.faults with
+  | Some f -> Fault.ack_drops f
+  | None -> Array.make (Array.length t.flows) 0
 
 let phantom_flow_id = -1
 
 let build cfg =
   let eq = Event_queue.create ~start:cfg.t0 () in
   let master_rng = Rng.create ~seed:cfg.seed in
-  let link = Link.create ~eq ~rate:cfg.rate ?buffer:cfg.buffer
+  let effective_rate = Fault.compile_rate cfg.faults cfg.rate in
+  let link = Link.create ~eq ~rate:effective_rate ?buffer:cfg.buffer
       ?ecn_threshold:cfg.ecn_threshold ?aqm:cfg.aqm ~discipline:cfg.discipline
       ~record_queue:cfg.record_queue () in
   let n = List.length cfg.flows in
@@ -108,6 +140,12 @@ let build cfg =
       specs
   in
   let loss_rngs = Array.map (fun _ -> Rng.split master_rng) specs in
+  (* Fault streams split last so fault-free runs stay bit-identical to
+     builds that predate the fault layer. *)
+  let faults =
+    if Fault.is_empty cfg.faults then None
+    else Some (Fault.instantiate cfg.faults ~nflows:n ~rng:(Rng.split master_rng))
+  in
   let random_losses = Array.make n 0 in
   let flows = Array.make n None in
   let delacks = Array.map (fun _ -> { held = []; generation = 0 }) specs in
@@ -117,6 +155,12 @@ let build cfg =
   let release_batch i (batch : Packet.delivery list) ~arrival =
     match batch with
     | [] -> ()
+    | _ when
+        (match faults with
+        | Some f -> Fault.ack_drop f ~flow:i ~now:arrival
+        | None -> false) ->
+        (* ACK blackhole: the whole batch vanishes on the return path. *)
+        ()
     | _ ->
         let newest_sent =
           List.fold_left (fun acc (d : Packet.delivery) ->
@@ -167,11 +211,17 @@ let build cfg =
               { Packet.packet = pkt; delivered_at = Event_queue.now eq })
       end);
 
-  (* Sender-side transmit hook: random loss then bottleneck. *)
+  (* Sender-side transmit hook: random loss, then bursty fault loss,
+     then the bottleneck. *)
   let transmit i pkt =
     let p = specs.(i).loss_rate in
     if p > 0. && Rng.bool loss_rngs.(i) ~p then
       random_losses.(i) <- random_losses.(i) + 1
+    else if
+      match faults with
+      | Some f -> Fault.data_drop f ~flow:i ~now:(Event_queue.now eq)
+      | None -> false
+    then ()
     else ignore (Link.enqueue link pkt)
   in
   Array.iteri
@@ -205,18 +255,124 @@ let build cfg =
     done
   end;
 
+  (* Mid-run buffer renegotiations from the fault plan. *)
+  List.iter
+    (fun (at, buf) ->
+      Event_queue.schedule eq ~at:(Float.max at cfg.t0) (fun () ->
+          Link.set_buffer link buf))
+    (Fault.buffer_events cfg.faults);
+
+  let flows = Array.map (function Some f -> f | None -> assert false) flows in
+
+  (* Runtime invariant monitor: a periodic audit of the simulator's own
+     conservation laws.  Opt-in ([monitor_period]) because the theorem
+     machinery intentionally drives the jitter element into clamping. *)
+  let invariant, audit =
+    match cfg.monitor_period with
+    | None -> (None, fun () -> ())
+    | Some _ ->
+        let inv = Invariant.create () in
+        let prev_now = ref cfg.t0 in
+        let prev_queued = ref (Link.queued_bytes link) in
+        let prev_jitter = ref 0 in
+        let audit () =
+          let now = Event_queue.now eq in
+          Invariant.check inv ~time:now ~name:"clock-monotonic"
+            ~detail:(fun () ->
+              Printf.sprintf "clock moved backwards: %.9f -> %.9f" !prev_now now)
+            (now >= !prev_now);
+          prev_now := now;
+          let offered = Link.offered_bytes link
+          and delivered = Link.delivered_bytes link
+          and dropped = Link.dropped_bytes link
+          and queued = Link.queued_bytes link in
+          Invariant.check inv ~time:now ~name:"link-conservation"
+            ~detail:(fun () ->
+              Printf.sprintf
+                "offered %d <> delivered %d + dropped %d + queued %d \
+                 (+ %d initial)"
+                offered delivered dropped queued cfg.initial_queue_bytes)
+            (offered + cfg.initial_queue_bytes
+            = delivered + dropped + queued);
+          (* Occupancy may exceed the cap only transiently after a buffer
+             shrink, and then only while draining: admission control never
+             admits above the cap, so any excess must shrink between
+             audits. *)
+          (match Link.buffer link with
+          | None -> ()
+          | Some cap ->
+              Invariant.check inv ~time:now ~name:"queue-bound"
+                ~detail:(fun () ->
+                  Printf.sprintf "queued %d > buffer %d (previous audit %d)"
+                    queued cap !prev_queued)
+                (queued <= max cap !prev_queued));
+          prev_queued := queued;
+          let jitter_total =
+            Array.fold_left (fun acc j -> acc + Jitter.violations j) 0 jitters
+          in
+          Invariant.check inv ~time:now ~name:"jitter-bound"
+            ~detail:(fun () ->
+              Printf.sprintf "jitter element clamped %d new request(s)"
+                (jitter_total - !prev_jitter))
+            (jitter_total = !prev_jitter);
+          prev_jitter := jitter_total;
+          Array.iteri
+            (fun i f ->
+              let inflight = Flow.inflight f in
+              Invariant.check inv ~time:now ~name:"inflight-nonneg"
+                ~detail:(fun () ->
+                  Printf.sprintf "flow %d inflight %d < 0" i inflight)
+                (inflight >= 0);
+              let outstanding = Flow.outstanding_bytes f in
+              Invariant.check inv ~time:now ~name:"inflight-consistent"
+                ~detail:(fun () ->
+                  Printf.sprintf "flow %d inflight %d <> outstanding %d" i
+                    inflight outstanding)
+                (inflight = outstanding);
+              let cca = Flow.cca f in
+              let cwnd = cca.Cca.cwnd () in
+              Invariant.check inv ~time:now ~name:"cca-sane"
+                ~detail:(fun () ->
+                  Printf.sprintf "flow %d (%s) cwnd = %h" i cca.Cca.name cwnd)
+                ((not (Float.is_nan cwnd)) && cwnd >= 0.);
+              match cca.Cca.pacing_rate () with
+              | None -> ()
+              | Some r ->
+                  Invariant.check inv ~time:now ~name:"cca-sane"
+                    ~detail:(fun () ->
+                      Printf.sprintf "flow %d (%s) pacing rate = %h" i
+                        cca.Cca.name r)
+                    ((not (Float.is_nan r)) && r >= 0.))
+            flows
+        in
+        (Some inv, audit)
+  in
+  (match cfg.monitor_period with
+  | None -> ()
+  | Some period ->
+      let rec tick () =
+        audit ();
+        Event_queue.schedule_after eq ~delay:period tick
+      in
+      Event_queue.schedule eq ~at:cfg.t0 tick);
+
   {
     cfg;
     eq;
     link;
-    flows = Array.map (function Some f -> f | None -> assert false) flows;
+    effective_rate;
+    flows;
     jitters;
     random_losses;
+    faults;
+    invariant;
+    audit;
     ran = false;
   }
 
 let run t =
   Event_queue.run_until t.eq (t.cfg.t0 +. t.cfg.duration);
+  t.audit ();
   t.ran <- true;
   t
 
@@ -235,16 +391,17 @@ let utilization t ?(warmup_frac = 0.25) () =
   let t1 = t.cfg.t0 +. t.cfg.duration
   and t0 = t.cfg.t0 +. (warmup_frac *. t.cfg.duration) in
   let mean_rate =
-    match t.cfg.rate with
+    (* Rate with fault blackouts / renegotiations folded in. *)
+    match t.effective_rate with
     | Link.Constant r -> r
-    | Link.Opportunities _ -> Link.rate_at t.cfg.rate 0.
+    | Link.Opportunities _ -> Link.rate_at t.effective_rate 0.
     | Link.Piecewise _ ->
         (* Mean of the piecewise rate over the window, via fine sampling. *)
         let n = 1000 in
         let acc = ref 0. in
         for k = 0 to n - 1 do
           let q = t0 +. ((t1 -. t0) *. (float_of_int k +. 0.5) /. float_of_int n) in
-          acc := !acc +. Link.rate_at t.cfg.rate q
+          acc := !acc +. Link.rate_at t.effective_rate q
         done;
         !acc /. float_of_int n
   in

@@ -63,13 +63,23 @@ type config = {
       (** bytes of phantom traffic pre-loaded into the bottleneck at [t0] —
           sets the initial queueing delay d*(t0) that the Theorem 1
           construction chooses *)
+  faults : Fault.plan;
+      (** fault schedule: blackouts and rate steps compile into the link's
+          service rate, buffer resizes become scheduled events, bursty loss
+          and ACK blackholes hook the data / return paths (see {!Fault}) *)
+  monitor_period : float option;
+      (** audit the runtime invariants ({!invariant}) at this period;
+          [None] (the default) disables the monitor *)
 }
 
 val config :
   rate:Link.rate -> ?buffer:int -> ?ecn_threshold:int -> ?aqm:Aqm.t ->
   ?discipline:Link.discipline -> rm:float -> ?seed:int -> ?record_queue:bool ->
-  ?initial_queue_bytes:int -> ?t0:float -> duration:float -> flow_spec list ->
-  config
+  ?initial_queue_bytes:int -> ?t0:float -> ?faults:Fault.plan ->
+  ?monitor_period:float -> duration:float -> flow_spec list -> config
+(** @raise Invalid_argument on malformed parameters, including ack-policy
+    parameters ([Delayed] count < 1 or timeout <= 0, [Aggregate] period
+    <= 0). *)
 
 type t
 
@@ -88,6 +98,21 @@ val flows : t -> Flow.t array
 val jitters : t -> Jitter.t array
 val random_losses : t -> int array
 (** Packets dropped by the random-loss element, per flow. *)
+
+val invariant : t -> Invariant.t option
+(** The runtime invariant monitor; [None] unless [monitor_period] was
+    given.  Checks run: event-clock monotonicity, link byte conservation
+    (offered + initial = delivered + dropped + queued), queue occupancy
+    against the (possibly resized) buffer, jitter-bound compliance
+    (promotes {!Jitter.violations} to a reported check), per-flow
+    inflight accounting, and CCA-output sanity. *)
+
+val fault_data_drops : t -> int array
+(** Data packets consumed by the fault layer's bursty loss, per flow
+    (all zeros when the config carries no faults). *)
+
+val fault_ack_drops : t -> int array
+(** ACK batches blackholed by the fault layer, per flow. *)
 
 val throughput : t -> flow:int -> t0:float -> t1:float -> float
 (** Bytes/s acknowledged by the given flow over the interval. *)

@@ -381,6 +381,39 @@ let test_jitter_negative_clamped () =
   check_float "clamped to zero" 2. r;
   Alcotest.(check int) "violation counted" 1 (Sim.Jitter.violations j)
 
+let test_jitter_violation_accounting () =
+  (* A mixed request schedule: over-bound, under-zero, legal.  The
+     counters must tally every violation exactly and track the worst
+     excess over the whole run, not just the last one. *)
+  let requests = ref [ 0.05; -0.02; 0.005; 0.03 ] in
+  let policy =
+    Sim.Jitter.Controller
+      (fun _ ->
+        match !requests with
+        | d :: rest ->
+            requests := rest;
+            d
+        | [] -> 0.)
+  in
+  let j = Sim.Jitter.create ~bound:0.01 ~rng:(Sim.Rng.create ~seed:1) policy in
+  for i = 1 to 4 do
+    ignore (Sim.Jitter.release_time j (req ~arrival:(float_of_int i)))
+  done;
+  Alcotest.(check int) "three violations" 3 (Sim.Jitter.violations j);
+  check_float "worst excess is the 0.05 request" 0.04 (Sim.Jitter.worst_excess j);
+  check_float "max requested" 0.05 (Sim.Jitter.max_requested j)
+
+let test_jitter_no_violation_no_excess () =
+  let j =
+    Sim.Jitter.create ~bound:0.01 ~rng:(Sim.Rng.create ~seed:1)
+      (Sim.Jitter.Constant 0.01)
+  in
+  for i = 1 to 10 do
+    ignore (Sim.Jitter.release_time j (req ~arrival:(float_of_int i)))
+  done;
+  Alcotest.(check int) "bound-riding is legal" 0 (Sim.Jitter.violations j);
+  check_float "no excess" 0. (Sim.Jitter.worst_excess j)
+
 let prop_jitter_uniform_in_bounds =
   QCheck.Test.make ~name:"uniform jitter stays within [lo,hi] and never reorders"
     ~count:50
@@ -477,6 +510,55 @@ let test_link_queue_delay () =
   ignore (Sim.Link.enqueue link (mk_pkt 0));
   ignore (Sim.Link.enqueue link (mk_pkt 1));
   check_float "two packets queued" 2. (Sim.Link.queue_delay link)
+
+let test_link_counters_under_full_buffer () =
+  (* Hammer a full buffer and check every counter: drops, dropped bytes,
+     offered bytes, ECN marks, and the conservation identity the
+     invariant monitor relies on. *)
+  let eq = Sim.Event_queue.create () in
+  let link =
+    Sim.Link.create ~eq ~rate:(Sim.Link.Constant 1000.) ~buffer:3000
+      ~ecn_threshold:1000 ~record_queue:false ()
+  in
+  Sim.Link.set_on_dequeue link (fun _ -> ());
+  for seq = 0 to 9 do
+    ignore (Sim.Link.enqueue link (mk_pkt seq))
+  done;
+  (* 3 admitted (3000-byte buffer), 7 dropped at the tail. *)
+  Alcotest.(check int) "drops" 7 (Sim.Link.drops link);
+  Alcotest.(check int) "dropped bytes" 7000 (Sim.Link.dropped_bytes link);
+  Alcotest.(check int) "offered bytes" 10_000 (Sim.Link.offered_bytes link);
+  Alcotest.(check int) "queued bytes" 3000 (Sim.Link.queued_bytes link);
+  (* Arrivals strictly above the 1000-byte threshold get CE-marked: only
+     the 3rd admitted packet saw a 2000-byte queue. *)
+  Alcotest.(check int) "ce marks" 1 (Sim.Link.ce_marks link);
+  Sim.Event_queue.run eq;
+  Alcotest.(check int) "delivered bytes" 3000 (Sim.Link.delivered_bytes link);
+  Alcotest.(check int) "conservation" (Sim.Link.offered_bytes link)
+    (Sim.Link.delivered_bytes link + Sim.Link.dropped_bytes link
+    + Sim.Link.queued_bytes link)
+
+let test_link_set_buffer () =
+  (* Shrinking below the occupancy never evicts; it only blocks new
+     admissions until the queue drains below the new cap. *)
+  let eq = Sim.Event_queue.create () in
+  let link =
+    Sim.Link.create ~eq ~rate:(Sim.Link.Constant 1000.) ~buffer:3000
+      ~record_queue:false ()
+  in
+  Sim.Link.set_on_dequeue link (fun _ -> ());
+  for seq = 0 to 2 do
+    ignore (Sim.Link.enqueue link (mk_pkt seq))
+  done;
+  Alcotest.(check int) "full" 3000 (Sim.Link.queued_bytes link);
+  Sim.Link.set_buffer link (Some 1000);
+  Alcotest.(check bool) "no eviction" true (Sim.Link.queued_bytes link = 3000);
+  Alcotest.(check bool) "admission blocked" true
+    (Sim.Link.enqueue link (mk_pkt 3) = `Dropped);
+  Alcotest.(check (option int)) "accessor" (Some 1000) (Sim.Link.buffer link);
+  Alcotest.(check bool) "rejects negative" true
+    (try Sim.Link.set_buffer link (Some (-1)); false
+     with Invalid_argument _ -> true)
 
 (* More link properties *)
 
@@ -1205,6 +1287,26 @@ let test_network_config_validation () =
   (* And a valid config passes. *)
   ignore (mk_cfg ())
 
+let test_network_ack_policy_validation () =
+  let mk policy =
+    Sim.Network.config ~rate:(Sim.Link.Constant 1e6) ~rm:0.01 ~duration:1.
+      [ Sim.Network.flow ~ack_policy:policy (Reno.make ()) ]
+  in
+  let rejects p = try ignore (mk p); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "delayed count 0" true
+    (rejects (Sim.Network.Delayed { count = 0; timeout = 0.01 }));
+  Alcotest.(check bool) "delayed timeout 0" true
+    (rejects (Sim.Network.Delayed { count = 2; timeout = 0. }));
+  Alcotest.(check bool) "delayed timeout nan" true
+    (rejects (Sim.Network.Delayed { count = 2; timeout = Float.nan }));
+  Alcotest.(check bool) "aggregate period 0" true
+    (rejects (Sim.Network.Aggregate { period = 0. }));
+  Alcotest.(check bool) "aggregate negative period" true
+    (rejects (Sim.Network.Aggregate { period = -0.1 }));
+  ignore (mk (Sim.Network.Delayed { count = 2; timeout = 0.01 }));
+  ignore (mk (Sim.Network.Aggregate { period = 0.02 }));
+  ignore (mk Sim.Network.Immediate)
+
 let test_network_deterministic () =
   let mk () =
     let rate = Sim.Units.mbps 12. in
@@ -1367,6 +1469,10 @@ let () =
           Alcotest.test_case "no reorder" `Quick test_jitter_no_reorder;
           Alcotest.test_case "clamps and counts" `Quick test_jitter_clamps_and_counts;
           Alcotest.test_case "negative clamped" `Quick test_jitter_negative_clamped;
+          Alcotest.test_case "violation accounting" `Quick
+            test_jitter_violation_accounting;
+          Alcotest.test_case "bound riding legal" `Quick
+            test_jitter_no_violation_no_excess;
           qt prop_jitter_uniform_in_bounds;
         ] );
       ( "link",
@@ -1381,6 +1487,9 @@ let () =
           Alcotest.test_case "fifo service" `Quick test_link_fifo_service;
           Alcotest.test_case "drop tail" `Quick test_link_drop_tail;
           Alcotest.test_case "queue delay" `Quick test_link_queue_delay;
+          Alcotest.test_case "counters under full buffer" `Quick
+            test_link_counters_under_full_buffer;
+          Alcotest.test_case "set_buffer" `Quick test_link_set_buffer;
           QCheck_alcotest.to_alcotest prop_link_conserves_bytes;
           QCheck_alcotest.to_alcotest prop_transmit_end_consistent_with_rate;
         ] );
@@ -1448,6 +1557,8 @@ let () =
             test_network_initial_queue_delays_first_rtt;
           Alcotest.test_case "inspect series" `Quick test_flow_inspect_series;
           Alcotest.test_case "config validation" `Quick test_network_config_validation;
+          Alcotest.test_case "ack policy validation" `Quick
+            test_network_ack_policy_validation;
           Alcotest.test_case "deterministic" `Quick test_network_deterministic;
           Alcotest.test_case "accessor lengths" `Quick test_network_accessor_lengths;
           Alcotest.test_case "start stop" `Quick test_network_flow_start_stop;
