@@ -1,0 +1,10 @@
+let () =
+  let cfg =
+    Sim.Network.config ~rate:(Sim.Link.Constant (Sim.Units.mbps 12.)) ~buffer:(64*1500)
+      ~rm:0.04 ~initial_queue_bytes:(10 * 1500) ~monitor_period:0.05 ~duration:2.
+      [ Sim.Network.flow (Sim.Cca.reno ()) ]
+  in
+  let t = Sim.Network.run_config cfg in
+  match Sim.Network.invariant t with
+  | None -> print_endline "no monitor"
+  | Some inv -> print_endline (Sim.Invariant.summary inv)
