@@ -110,7 +110,7 @@ open Bechamel
 open Toolkit
 
 let bench_heap () =
-  let h = Sim.Heap.create ~cmp:Int.compare () in
+  let h = Sim.Heap.create ~dummy:0 ~cmp:Int.compare () in
   for i = 0 to 999 do
     Sim.Heap.push h ((i * 7919) mod 1000)
   done;
@@ -187,6 +187,17 @@ let bench_opportunity_lookup () =
     t := Sim.Link.transmit_end trace ~start:!t ~bytes:1500
   done
 
+let trivial_jobs n =
+  List.init n (fun i ->
+      Runner.Job.create ~key:(Printf.sprintf "bench/trivial/%d" i) (fun () -> i))
+
+let bench_pool_serial () = ignore (Runner.Pool.run (trivial_jobs 32))
+
+let bench_pool_forked () =
+  (* Dominated by fork + pipe roundtrips: the pool's fixed overhead,
+     i.e. how small a job is still worth dispatching. *)
+  ignore (Runner.Pool.run ~workers:4 (trivial_jobs 32))
+
 let bench_small_sim () =
   let rate = Sim.Units.mbps 12. in
   let cfg =
@@ -232,6 +243,8 @@ let microbenches () =
       Test.make ~name:"reno 1s faulted+monitored" (Staged.stage bench_faulted_sim);
       Test.make ~name:"drr link 500 pkts" (Staged.stage bench_drr_link);
       Test.make ~name:"opportunity lookup 1k" (Staged.stage bench_opportunity_lookup);
+      Test.make ~name:"pool 32 jobs serial" (Staged.stage bench_pool_serial);
+      Test.make ~name:"pool 32 jobs 4 workers" (Staged.stage bench_pool_forked);
     ]
   in
   let grouped = Test.make_grouped ~name:"substrate" tests in
@@ -257,11 +270,32 @@ let microbenches () =
              Printf.printf "%-36s %14s\n" name pretty
          | _ -> Printf.printf "%-36s %14s\n" name "n/a")
 
+(* The acceptance measurement for the runner: the same job list, serial
+   vs a 4-worker pool, on real simulations (the E18 quick matrix). *)
+let pool_speedup () =
+  let jobs, _ = Experiments.Exp_faults.plan ~quick:true in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let serial = time (fun () -> Runner.Pool.run jobs) in
+  let forked = time (fun () -> Runner.Pool.run ~workers:4 jobs) in
+  Printf.printf "\n== Runner pool speedup (%d E18-quick jobs, %d cores) ==\n"
+    (List.length jobs)
+    (Runner.Pool.default_workers ());
+  Printf.printf "serial %.2f s, 4 workers %.2f s: %.1fx speedup\n" serial forked
+    (serial /. forked)
+
 let () =
   Printf.printf "Reproduction harness%s\n" (if quick then " (quick mode)" else "");
-  let rows = Experiments.Registry.run_all ~quick () in
+  let workers = Runner.Pool.default_workers () in
+  let rows, stats = Experiments.Registry.run_all ~quick ~workers () in
   let good = List.length (List.filter (fun r -> r.Experiments.Report.ok) rows) in
   Printf.printf "\n%d/%d checks hold the paper's shape\n" good (List.length rows);
+  Printf.printf "(suite ran on %d workers: %d jobs, %d executed)\n" workers
+    stats.Runner.Pool.jobs stats.Runner.Pool.executed;
   figures ();
+  pool_speedup ();
   microbenches ();
   if good < List.length rows then exit 2

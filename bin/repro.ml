@@ -1,10 +1,83 @@
-let () =
-  let cfg =
-    Sim.Network.config ~rate:(Sim.Link.Constant (Sim.Units.mbps 12.)) ~buffer:(64*1500)
-      ~rm:0.04 ~initial_queue_bytes:(10 * 1500) ~monitor_period:0.05 ~duration:2.
-      [ Sim.Network.flow (Sim.Cca.reno ()) ]
-  in
-  let t = Sim.Network.run_config cfg in
-  match Sim.Network.invariant t with
-  | None -> print_endline "no monitor"
-  | Some inv -> print_endline (Sim.Invariant.summary inv)
+(* Parallel reproduction driver.
+
+   Runs the experiment suite through the Runner pool: simulations fan out
+   across forked workers, results merge deterministically, and a
+   content-addressed cache under --cache-dir makes re-runs of an unchanged
+   binary free.  Output on stdout is byte-identical for every -j level and
+   for cached re-runs; the pool's counters go to stderr so the streams can
+   be diffed independently. *)
+
+open Cmdliner
+
+let keys_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
+         ~doc:"Experiment keys to run (see $(b,starvation_lab list)).")
+
+let all_arg =
+  Arg.(value & flag & info [ "all" ] ~doc:"Run every experiment.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ]
+         ~doc:"Short durations and fewer seeds (CI scale).")
+
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker processes. 1 runs serially in-process; 0 or negative \
+               means one per core.")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ]
+         ~doc:"Re-simulate everything; neither read nor write the run cache.")
+
+let cache_dir_arg =
+  Arg.(value & opt string "_cache" & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Run-cache directory.")
+
+let check_arg =
+  Arg.(value & flag & info [ "check" ]
+         ~doc:"Exit 2 unless every report row holds the paper's shape.")
+
+let select keys all =
+  if all || keys = [] then Ok Experiments.Registry.all
+  else
+    let missing =
+      List.filter (fun k -> Experiments.Registry.find k = None) keys
+    in
+    if missing <> [] then
+      Error (Printf.sprintf "unknown experiment(s): %s" (String.concat ", " missing))
+    else Ok (List.filter_map Experiments.Registry.find keys)
+
+let main keys all quick jobs no_cache cache_dir check =
+  match select keys all with
+  | Error msg ->
+      prerr_endline ("repro: " ^ msg);
+      exit 1
+  | Ok experiments ->
+      let workers = if jobs <= 0 then Runner.Pool.default_workers () else jobs in
+      let cache =
+        if no_cache then None else Some (Runner.Cache.create ~dir:cache_dir ())
+      in
+      let t0 = Unix.gettimeofday () in
+      let rows, stats =
+        Experiments.Registry.run_selection ~quick ~workers ?cache experiments
+      in
+      let bad = List.filter (fun r -> not r.Experiments.Report.ok) rows in
+      Printf.printf "\n%d/%d checks hold the paper's shape\n"
+        (List.length rows - List.length bad)
+        (List.length rows);
+      Printf.eprintf
+        "runner: %d jobs, %d cache hits, %d executed, %d respawns, %d workers, %.1f s\n"
+        stats.Runner.Pool.jobs stats.Runner.Pool.cache_hits
+        stats.Runner.Pool.executed stats.Runner.Pool.respawns workers
+        (Unix.gettimeofday () -. t0);
+      if check && bad <> [] then exit 2
+
+let cmd =
+  let doc = "Parallel, cached reproduction of the paper's experiment suite" in
+  Cmd.v
+    (Cmd.info "repro" ~doc)
+    Term.(
+      const main $ keys_arg $ all_arg $ quick_arg $ jobs_arg $ no_cache_arg
+      $ cache_dir_arg $ check_arg)
+
+let () = exit (Cmd.eval cmd)

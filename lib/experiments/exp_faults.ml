@@ -99,8 +99,10 @@ let run_one ~duration ~cca_name ~mk ~scenario ~window ~events =
     degraded = Sim.Flow.degraded_count flow;
   }
 
+let duration_of ~quick = if quick then 10. else 30.
+
 let measure ?(quick = false) () =
-  let duration = if quick then 10. else 30. in
+  let duration = duration_of ~quick in
   List.concat_map
     (fun (cca_name, mk) ->
       List.map
@@ -109,7 +111,7 @@ let measure ?(quick = false) () =
         (scenarios ~duration))
     (ccas ~quick)
 
-let run ?quick () =
+let rows_of_outcomes outcomes =
   List.map
     (fun o ->
       let ratio = o.post_rate /. Float.max o.pre_rate 1. in
@@ -128,4 +130,25 @@ let run ?quick () =
                 Printf.sprintf ", probes %d" o.stall_probes
               else ""))
         ~ok:(o.violations = 0 && recovered && ratio > 0.15))
-    (measure ?quick ())
+    outcomes
+
+let run ?quick () = rows_of_outcomes (measure ?quick ())
+
+let plan ~quick =
+  let duration = duration_of ~quick in
+  let jobs =
+    List.concat_map
+      (fun (cca_name, mk) ->
+        List.map
+          (fun (scenario, window, events) ->
+            Runner.Job.create
+              ~key:(Printf.sprintf "faults/%s/%s/dur=%g" cca_name scenario duration)
+              (fun () -> run_one ~duration ~cca_name ~mk ~scenario ~window ~events))
+          (scenarios ~duration))
+      (ccas ~quick)
+  in
+  let merge payloads =
+    rows_of_outcomes
+      (List.map (fun b -> (Runner.Job.decode b : outcome)) payloads)
+  in
+  (jobs, merge)

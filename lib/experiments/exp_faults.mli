@@ -24,3 +24,7 @@ type outcome = {
 
 val measure : ?quick:bool -> unit -> outcome list
 val run : ?quick:bool -> unit -> Report.row list
+
+val plan : quick:bool -> Runner.Job.t list * (bytes list -> Report.row list)
+(** One job per (CCA, fault scenario) cell — the natural parallel grain
+    of the matrix; the merge yields the same rows as {!run}. *)

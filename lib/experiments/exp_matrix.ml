@@ -72,23 +72,26 @@ let jitter_duel ~policy ~make_cca ~duration =
 let random_policy d = Sim.Jitter.Uniform { lo = 0.; hi = d }
 let adversarial_policy d = Sim.Jitter.Trace (fun t -> if t < 1. then 0. else d)
 
+let entry_of ~cca_name ~make_cca ~duration =
+  let solo_utilization, solo_p95_rtt = solo ~make_cca ~duration in
+  {
+    cca_name;
+    solo_utilization;
+    solo_p95_rtt;
+    pair_jain = pair ~make_cca ~duration;
+    jitter_ratio = jitter_duel ~policy:random_policy ~make_cca ~duration;
+    adv_ratio = jitter_duel ~policy:adversarial_policy ~make_cca ~duration;
+  }
+
+let duration_of ~quick = if quick then 20. else 40.
+
 let measure ?(quick = false) () =
-  let duration = if quick then 20. else 40. in
+  let duration = duration_of ~quick in
   List.map
-    (fun (cca_name, make_cca) ->
-      let solo_utilization, solo_p95_rtt = solo ~make_cca ~duration in
-      {
-        cca_name;
-        solo_utilization;
-        solo_p95_rtt;
-        pair_jain = pair ~make_cca ~duration;
-        jitter_ratio = jitter_duel ~policy:random_policy ~make_cca ~duration;
-        adv_ratio = jitter_duel ~policy:adversarial_policy ~make_cca ~duration;
-      })
+    (fun (cca_name, make_cca) -> entry_of ~cca_name ~make_cca ~duration)
     (ccas ())
 
-let run ?(quick = false) () =
-  let entries = measure ~quick () in
+let rows_of_entries entries =
   Printf.printf "\n-- E17 matrix (link 24 Mbit/s, Rm 40 ms, jitter bound 10 ms) --\n";
   Printf.printf "%-8s %6s %8s %6s %12s %12s\n" "cca" "util" "p95_ms" "jain"
     "random_jit" "adversarial";
@@ -132,3 +135,20 @@ let run ?(quick = false) () =
             (String.concat ", " adversarial_worse))
        ~ok:(List.length adversarial_worse >= 3));
   ]
+
+let run ?(quick = false) () = rows_of_entries (measure ~quick ())
+
+let plan ~quick =
+  let duration = duration_of ~quick in
+  let jobs =
+    List.map
+      (fun (cca_name, make_cca) ->
+        Runner.Job.create
+          ~key:(Printf.sprintf "matrix/%s/dur=%g" cca_name duration)
+          (fun () -> entry_of ~cca_name ~make_cca ~duration))
+      (ccas ())
+  in
+  let merge payloads =
+    rows_of_entries (List.map (fun b -> (Runner.Job.decode b : entry)) payloads)
+  in
+  (jobs, merge)

@@ -30,3 +30,7 @@ type entry = {
 
 val measure : ?quick:bool -> unit -> entry list
 val run : ?quick:bool -> unit -> Report.row list
+
+val plan : quick:bool -> Runner.Job.t list * (bytes list -> Report.row list)
+(** One job per CCA (its four scenarios together); the merge prints the
+    matrix table and yields the same rows as {!run}. *)

@@ -39,22 +39,28 @@ let copa_ratio ~seed ~duration =
   let x2 = Sim.Network.throughput net ~flow:1 ~t0 ~t1:duration in
   x2 /. Float.max x1 1.
 
-let measure ?(quick = false) () =
-  let seeds = if quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5 ] in
-  let duration = if quick then 20. else 60. in
-  let spread label f =
-    let ratios = List.map (fun seed -> f ~seed ~duration) seeds in
-    {
-      label;
-      ratios;
-      min_ratio = List.fold_left Float.min infinity ratios;
-      max_ratio = List.fold_left Float.max 0. ratios;
-    }
-  in
-  [ spread "bbr Rm 40/80" bbr_ratio; spread "copa poisoned" copa_ratio ]
+let scenarios = [ ("bbr Rm 40/80", bbr_ratio); ("copa poisoned", copa_ratio) ]
 
-let run ?quick () =
-  let spreads = measure ?quick () in
+let params ~quick =
+  ((if quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5 ]),
+   if quick then 20. else 60.)
+
+let spread_of label ratios =
+  {
+    label;
+    ratios;
+    min_ratio = List.fold_left Float.min infinity ratios;
+    max_ratio = List.fold_left Float.max 0. ratios;
+  }
+
+let measure ?(quick = false) () =
+  let seeds, duration = params ~quick in
+  List.map
+    (fun (label, f) ->
+      spread_of label (List.map (fun seed -> f ~seed ~duration) seeds))
+    scenarios
+
+let rows_of_spreads spreads =
   List.map
     (fun s ->
       let shown =
@@ -67,3 +73,32 @@ let run ?quick () =
         ~measured:(Printf.sprintf "ratios {%s}" shown)
         ~ok:(s.min_ratio > threshold))
     spreads
+
+let run ?quick () = rows_of_spreads (measure ?quick ())
+
+let plan ~quick =
+  let seeds, duration = params ~quick in
+  let jobs =
+    List.concat_map
+      (fun (label, f) ->
+        List.map
+          (fun seed ->
+            Runner.Job.create
+              ~key:(Printf.sprintf "robustness/%s/seed=%d/dur=%g" label seed duration)
+              (fun () -> f ~seed ~duration))
+          seeds)
+      scenarios
+  in
+  let merge payloads =
+    let ratios = List.map (fun b -> (Runner.Job.decode b : float)) payloads in
+    let per = List.length seeds in
+    let spreads =
+      List.mapi
+        (fun i (label, _) ->
+          spread_of label
+            (List.filteri (fun j _ -> j / per = i) ratios))
+        scenarios
+    in
+    rows_of_spreads spreads
+  in
+  (jobs, merge)

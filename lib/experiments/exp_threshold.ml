@@ -28,23 +28,23 @@ let measure_ratio ~jitter_d ~duration =
   let x2 = Sim.Network.throughput net ~flow:1 ~t0 ~t1:duration in
   Float.max x1 x2 /. Float.max (Float.min x1 x2) 1.
 
-let sweep ?(quick = false) () =
-  let duration = if quick then 20. else 40. in
-  let multipliers =
-    if quick then [ 0.25; 1.; 4.; 8. ] else [ 0.25; 0.5; 1.; 2.; 3.; 4.; 6.; 8. ]
-  in
-  List.map
-    (fun m ->
-      let jitter_d = m *. delta_max in
-      {
-        jitter = jitter_d;
-        jitter_over_delta = m;
-        ratio = measure_ratio ~jitter_d ~duration;
-      })
-    multipliers
+let params ~quick =
+  ((if quick then [ 0.25; 1.; 4.; 8. ] else [ 0.25; 0.5; 1.; 2.; 3.; 4.; 6.; 8. ]),
+   if quick then 20. else 40.)
 
-let run ?(quick = false) () =
-  let points = sweep ~quick () in
+let point_at ~m ~duration =
+  let jitter_d = m *. delta_max in
+  {
+    jitter = jitter_d;
+    jitter_over_delta = m;
+    ratio = measure_ratio ~jitter_d ~duration;
+  }
+
+let sweep ?(quick = false) () =
+  let multipliers, duration = params ~quick in
+  List.map (fun m -> point_at ~m ~duration) multipliers
+
+let rows_of_points points =
   let at m =
     match List.find_opt (fun p -> Sim.Units.feq p.jitter_over_delta m) points with
     | Some p -> p.ratio
@@ -63,3 +63,20 @@ let run ?(quick = false) () =
       ~measured:curve
       ~ok:(low < 2. && high > 4. && high > 2. *. low);
   ]
+
+let run ?(quick = false) () = rows_of_points (sweep ~quick ())
+
+let plan ~quick =
+  let multipliers, duration = params ~quick in
+  let jobs =
+    List.map
+      (fun m ->
+        Runner.Job.create
+          ~key:(Printf.sprintf "threshold/copa/m=%g/dur=%g" m duration)
+          (fun () -> point_at ~m ~duration))
+      multipliers
+  in
+  let merge payloads =
+    rows_of_points (List.map (fun b -> (Runner.Job.decode b : point)) payloads)
+  in
+  (jobs, merge)

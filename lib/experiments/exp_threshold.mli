@@ -25,3 +25,7 @@ val sweep : ?quick:bool -> unit -> point list
 val run : ?quick:bool -> unit -> Report.row list
 (** Checks: the curve is near-fair at D << delta_max and unfair at
     D >> 2 delta_max, i.e. it crosses the paper's boundary. *)
+
+val plan : quick:bool -> Runner.Job.t list * (bytes list -> Report.row list)
+(** One job per sweep point (each point is an independent simulation);
+    the merge reassembles the curve and yields the same rows as {!run}. *)

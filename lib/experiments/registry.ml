@@ -1,53 +1,125 @@
+type plan = {
+  jobs : Runner.Job.t list;
+  merge : bytes list -> Report.row list;
+}
+
 type experiment = {
   key : string;
   title : string;
+  plan : quick:bool -> plan;
   run : quick:bool -> Report.row list;
 }
+
+(* Experiments that have not been decomposed into per-simulation jobs run
+   as one job each: the whole [run] executes inside the job (its prints
+   are captured and replayed by the pool) and the rows come back as the
+   payload. *)
+let solo key run =
+  let plan ~quick =
+    let job =
+      Runner.Job.create
+        ~key:(Printf.sprintf "%s/quick=%b" key quick)
+        (fun () -> run ~quick)
+    in
+    let merge = function
+      | [ b ] -> (Runner.Job.decode b : Report.row list)
+      | payloads ->
+          invalid_arg
+            (Printf.sprintf "Registry: experiment %s expected 1 payload, got %d"
+               key (List.length payloads))
+    in
+    { jobs = [ job ]; merge }
+  in
+  plan
+
+(* Experiments whose jobs carry raw measurements: the merge rebuilds the
+   rows (and prints any experiment-specific tables) in the parent. *)
+let planned plan_fn ~quick =
+  let jobs, merge = plan_fn ~quick in
+  { jobs; merge }
 
 let all =
   [
     { key = "fig1"; title = "Figure 1: ideal-path delay convergence";
-      run = (fun ~quick -> Exp_fig1.run ~quick ()) };
+      run = (fun ~quick -> Exp_fig1.run ~quick ());
+      plan = solo "fig1" (fun ~quick -> Exp_fig1.run ~quick ()) };
     { key = "fig3"; title = "Figures 2-3: rate-delay maps";
-      run = (fun ~quick -> Exp_fig3.run ~quick ()) };
+      run = (fun ~quick -> Exp_fig3.run ~quick ());
+      plan = solo "fig3" (fun ~quick -> Exp_fig3.run ~quick ()) };
     { key = "copa"; title = "E1-E2: Copa min-RTT poisoning (sec. 5.1)";
-      run = (fun ~quick -> Exp_copa.run ~quick ()) };
+      run = (fun ~quick -> Exp_copa.run ~quick ());
+      plan = solo "copa" (fun ~quick -> Exp_copa.run ~quick ()) };
     { key = "bbr"; title = "E3-E4: BBR starvation and +alpha ablation (sec. 5.2)";
-      run = (fun ~quick -> Exp_bbr.run ~quick ()) };
+      run = (fun ~quick -> Exp_bbr.run ~quick ());
+      plan = solo "bbr" (fun ~quick -> Exp_bbr.run ~quick ()) };
     { key = "vivace"; title = "E5: PCC Vivace ACK aggregation (sec. 5.3)";
-      run = (fun ~quick -> Exp_vivace.run ~quick ()) };
+      run = (fun ~quick -> Exp_vivace.run ~quick ());
+      plan = solo "vivace" (fun ~quick -> Exp_vivace.run ~quick ()) };
     { key = "fig7"; title = "Figure 7: Reno/Cubic delayed-ACK unfairness";
-      run = (fun ~quick -> Exp_fig7.run ~quick ()) };
+      run = (fun ~quick -> Exp_fig7.run ~quick ());
+      plan = solo "fig7" (fun ~quick -> Exp_fig7.run ~quick ()) };
     { key = "allegro"; title = "E6: PCC Allegro random loss (sec. 5.4)";
-      run = (fun ~quick -> Exp_allegro.run ~quick ()) };
+      run = (fun ~quick -> Exp_allegro.run ~quick ());
+      plan = solo "allegro" (fun ~quick -> Exp_allegro.run ~quick ()) };
     { key = "theorem1"; title = "E7 + Figures 4-6: Theorem 1 construction";
-      run = (fun ~quick -> Exp_theorem1.run ~quick ()) };
+      run = (fun ~quick -> Exp_theorem1.run ~quick ());
+      plan = solo "theorem1" (fun ~quick -> Exp_theorem1.run ~quick ()) };
     { key = "theorem2"; title = "E8-E9: Theorems 2-3 constructions";
-      run = (fun ~quick -> Exp_theorem2.run ~quick ()) };
+      run = (fun ~quick -> Exp_theorem2.run ~quick ());
+      plan = solo "theorem2" (fun ~quick -> Exp_theorem2.run ~quick ()) };
     { key = "alg1"; title = "E10-E11: Algorithm 1 and the figure of merit (sec. 6.3)";
-      run = (fun ~quick -> Exp_alg1.run ~quick ()) };
+      run = (fun ~quick -> Exp_alg1.run ~quick ());
+      plan = solo "alg1" (fun ~quick -> Exp_alg1.run ~quick ()) };
     { key = "ccac"; title = "E12: bounded model checking (appendix C)";
-      run = (fun ~quick -> Exp_ccac.run ~quick ()) };
+      run = (fun ~quick -> Exp_ccac.run ~quick ());
+      plan = solo "ccac" (fun ~quick -> Exp_ccac.run ~quick ()) };
     { key = "ecn"; title = "E13: explicit signaling avoids starvation (sec. 6.4)";
-      run = (fun ~quick -> Exp_ecn.run ~quick ()) };
+      run = (fun ~quick -> Exp_ecn.run ~quick ());
+      plan = solo "ecn" (fun ~quick -> Exp_ecn.run ~quick ()) };
     { key = "threshold"; title = "E14: starvation ratio vs jitter (the Theorem 1 boundary)";
-      run = (fun ~quick -> Exp_threshold.run ~quick ()) };
+      run = (fun ~quick -> Exp_threshold.run ~quick ());
+      plan = planned Exp_threshold.plan };
     { key = "isolation"; title = "E15: DRR isolation vs the shared FIFO (conclusion)";
-      run = (fun ~quick -> Exp_isolation.run ~quick ()) };
+      run = (fun ~quick -> Exp_isolation.run ~quick ());
+      plan = solo "isolation" (fun ~quick -> Exp_isolation.run ~quick ()) };
     { key = "robustness"; title = "E16: seed robustness of the headline ratios";
-      run = (fun ~quick -> Exp_robustness.run ~quick ()) };
+      run = (fun ~quick -> Exp_robustness.run ~quick ());
+      plan = planned Exp_robustness.plan };
     { key = "matrix"; title = "E17: cross-CCA summary matrix";
-      run = (fun ~quick -> Exp_matrix.run ~quick ()) };
+      run = (fun ~quick -> Exp_matrix.run ~quick ());
+      plan = planned Exp_matrix.plan };
     { key = "faults"; title = "E18: fault-scenario matrix (recovery + invariants)";
-      run = (fun ~quick -> Exp_faults.run ~quick ()) };
+      run = (fun ~quick -> Exp_faults.run ~quick ());
+      plan = planned Exp_faults.plan };
   ]
 
 let find key = List.find_opt (fun e -> e.key = key) all
 
-let run_all ?(quick = false) () =
-  List.concat_map
-    (fun e ->
-      let rows = e.run ~quick in
-      Report.print_rows ~title:e.title rows;
-      rows)
-    all
+let rec take_drop n = function
+  | rest when n = 0 -> ([], rest)
+  | [] -> invalid_arg "Registry: fewer results than jobs"
+  | x :: rest ->
+      let taken, left = take_drop (n - 1) rest in
+      (x :: taken, left)
+
+let run_selection ?(quick = false) ?(workers = 1) ?cache ?timeout experiments =
+  let plans = List.map (fun e -> (e, e.plan ~quick)) experiments in
+  let jobs = List.concat_map (fun (_, p) -> p.jobs) plans in
+  let results, stats = Runner.Pool.run ~workers ?timeout ?cache jobs in
+  (* Replay each experiment's captured stdout in job order, then merge and
+     print its table: the byte stream is the same whether the jobs ran
+     serially, in parallel, or straight out of the cache. *)
+  let rows, _ =
+    List.fold_left
+      (fun (acc, remaining) (e, p) ->
+        let mine, rest = take_drop (List.length p.jobs) remaining in
+        List.iter (fun (out, _) -> print_string out) mine;
+        let rows = p.merge (List.map snd mine) in
+        Report.print_rows ~title:e.title rows;
+        (acc @ rows, rest))
+      ([], results) plans
+  in
+  (rows, stats)
+
+let run_all ?quick ?workers ?cache ?timeout () =
+  run_selection ?quick ?workers ?cache ?timeout all

@@ -1,8 +1,28 @@
-(** All experiments, keyed by the names the CLI and benchmark harness use. *)
+(** All experiments, keyed by the names the CLI and benchmark harness use.
+
+    Each experiment exposes two ways to execute:
+
+    - [run], the historical in-process entry point (used by tests and the
+      per-experiment CLI commands);
+    - [plan], which names the experiment's independent simulations as
+      {!Runner.Job.t} values plus a merge that rebuilds the report rows
+      from the job payloads.  Plans from several experiments can be
+      flattened into one {!Runner.Pool.run} call, which is how
+      [run_selection] parallelizes and caches whole-suite runs while
+      keeping the printed output byte-identical to the serial run. *)
+
+type plan = {
+  jobs : Runner.Job.t list;
+  merge : bytes list -> Report.row list;
+      (** Takes the job payloads in submission order.  May print
+          experiment-specific tables (they appear after the jobs' own
+          replayed stdout, before the report table). *)
+}
 
 type experiment = {
   key : string;  (** CLI name, e.g. "copa" *)
   title : string;
+  plan : quick:bool -> plan;
   run : quick:bool -> Report.row list;
 }
 
@@ -10,6 +30,24 @@ val all : experiment list
 
 val find : string -> experiment option
 
-val run_all : ?quick:bool -> unit -> Report.row list
-(** Run every experiment, printing each table as it completes; returns the
-    concatenated rows. *)
+val run_selection :
+  ?quick:bool ->
+  ?workers:int ->
+  ?cache:Runner.Cache.t ->
+  ?timeout:float ->
+  experiment list ->
+  Report.row list * Runner.Pool.stats
+(** Run the given experiments through one job pool ([workers] defaults to
+    1 = serial in-process), printing each experiment's output and table in
+    registry order; returns the concatenated rows and the pool counters.
+    Output is byte-identical for any worker count and for cached re-runs.
+    @raise Runner.Pool.Job_failed if a job raises or keeps crashing. *)
+
+val run_all :
+  ?quick:bool ->
+  ?workers:int ->
+  ?cache:Runner.Cache.t ->
+  ?timeout:float ->
+  unit ->
+  Report.row list * Runner.Pool.stats
+(** [run_selection] over every experiment. *)

@@ -1,0 +1,60 @@
+type t = {
+  dir : string;
+  version : string;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+(* What one cache file holds.  The key is stored redundantly and checked on
+   read: a digest collision (or a hand-edited file) degrades to a miss
+   instead of silently decoding the wrong experiment's bytes. *)
+type entry = { e_key : string; e_stdout : string; e_payload : bytes }
+
+let default_version () =
+  match Digest.file Sys.executable_name with
+  | d -> Digest.to_hex d
+  | exception Sys_error _ -> "unversioned"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?(dir = "_cache") ?version () =
+  let version = match version with Some v -> v | None -> default_version () in
+  mkdir_p dir;
+  { dir; version; hits = 0; misses = 0 }
+
+let path t ~key =
+  let digest = Digest.to_hex (Digest.string (t.version ^ "\x00" ^ key)) in
+  Filename.concat t.dir (digest ^ ".job")
+
+let find t ~key =
+  let miss () =
+    t.misses <- t.misses + 1;
+    None
+  in
+  match In_channel.with_open_bin (path t ~key) In_channel.input_all with
+  | exception Sys_error _ -> miss ()
+  | raw -> (
+      match (Marshal.from_string raw 0 : entry) with
+      | exception _ -> miss ()
+      | e ->
+          if e.e_key = key then begin
+            t.hits <- t.hits + 1;
+            Some (e.e_stdout, e.e_payload)
+          end
+          else miss ())
+
+let store t ~key ~stdout ~payload =
+  let tmp = Filename.temp_file ~temp_dir:t.dir "store" ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc
+        (Marshal.to_string { e_key = key; e_stdout = stdout; e_payload = payload } []));
+  Sys.rename tmp (path t ~key)
+
+let hits t = t.hits
+let misses t = t.misses
+let dir t = t.dir

@@ -1,0 +1,32 @@
+(** Content-addressed on-disk cache of job results.
+
+    An entry stores a job's marshalled result together with the stdout it
+    produced, so a cache hit replays exactly what the simulation would
+    have printed.  Entries live under one directory, one file per job,
+    named [digest (version, key)]: the version stamp defaults to a digest
+    of the running executable, so a rebuild that changes any code (and
+    hence possibly any result, or the memory layout [Marshal] relies on)
+    silently invalidates everything, while re-running the same binary hits.
+
+    Writes go through a temp file plus atomic rename, so concurrent runs
+    sharing a cache directory never observe torn entries.  Unreadable or
+    corrupt entries are treated as misses, never errors. *)
+
+type t
+
+val create : ?dir:string -> ?version:string -> unit -> t
+(** [dir] defaults to ["_cache"] (created, along with parents, if
+    missing).  [version] defaults to the hex digest of
+    [Sys.executable_name]. *)
+
+val find : t -> key:string -> (string * bytes) option
+(** [(captured stdout, marshalled result)] for a previously stored job,
+    or [None]. *)
+
+val store : t -> key:string -> stdout:string -> payload:bytes -> unit
+
+val hits : t -> int
+(** Successful {!find}s so far on this handle. *)
+
+val misses : t -> int
+val dir : t -> string

@@ -1,0 +1,6 @@
+type t = { key : string; thunk : unit -> bytes }
+
+let create ~key f = { key; thunk = (fun () -> Marshal.to_bytes (f ()) []) }
+let key t = t.key
+let force t = t.thunk ()
+let decode b = Marshal.from_bytes b 0

@@ -1,0 +1,52 @@
+(** Fork-based worker pool with deterministic merge.
+
+    [run jobs] executes every job and returns, in job order, the pair of
+    the stdout the job printed and its marshalled result.  Jobs are
+    dispatched to [workers] forked child processes over pipes carrying
+    length-prefixed [Marshal] frames; a worker that crashes is respawned
+    and its in-flight job retried; a worker stuck past [timeout] is
+    killed the same way.  Because each job's stdout is captured at the
+    job and replayed by the caller in job order, and results are
+    collected into a slot per job, the observable output is byte-for-byte
+    identical to the serial run regardless of how jobs were scheduled
+    across workers.
+
+    With [workers <= 1] jobs run serially in-process (no fork), through
+    the same capture machinery, so serial and parallel runs share one
+    output path.  With a [cache], jobs whose key is already stored are
+    not executed at all — their recorded stdout and result are replayed —
+    and freshly computed results are stored.
+
+    Jobs must be pure (their thunks re-run after a crash must produce the
+    same result) and must not write to stderr if byte-identical streams
+    are required there too (only stdout is captured). *)
+
+type stats = {
+  jobs : int;  (** total jobs submitted *)
+  cache_hits : int;  (** jobs served from the cache, not executed *)
+  executed : int;  (** jobs actually simulated this run *)
+  respawns : int;  (** workers replaced after a crash or timeout *)
+}
+
+exception Job_failed of { key : string; reason : string }
+(** Raised when a job raises, or when it exhausts [max_attempts] via
+    worker crashes or timeouts.  All workers are killed first. *)
+
+val default_workers : unit -> int
+(** Parallelism matching the machine (the runtime's recommended domain
+    count). *)
+
+val run :
+  ?workers:int ->
+  ?timeout:float ->
+  ?cache:Cache.t ->
+  ?max_attempts:int ->
+  Job.t list ->
+  (string * bytes) list * stats
+(** [run jobs] = per-job [(captured stdout, marshalled result)] in job
+    order, plus counters.  [workers] defaults to [1] (serial,
+    in-process).  [timeout] is per job attempt, in wall seconds, enforced
+    only on forked workers.  [max_attempts] (default 2) bounds executions
+    of one job across crashes/timeouts; an exception raised by the job
+    itself fails immediately (it is deterministic).
+    @raise Job_failed as described above. *)

@@ -5,8 +5,11 @@ type t = { heap : event Heap.t; mutable now : float; mutable next_seq : int }
 let compare_event a b =
   match Float.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
 
+let dummy_event = { time = neg_infinity; seq = -1; action = ignore }
+
 let create ?(start = 0.) () =
-  { heap = Heap.create ~cmp:compare_event (); now = start; next_seq = 0 }
+  { heap = Heap.create ~dummy:dummy_event ~cmp:compare_event (); now = start;
+    next_seq = 0 }
 
 let now t = t.now
 

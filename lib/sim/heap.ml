@@ -1,20 +1,21 @@
 type 'a t = {
   cmp : 'a -> 'a -> int;
-  mutable data : 'a array; (* [||] when empty; filler beyond [size] *)
+  dummy : 'a; (* fills slots beyond [size]; never compared or returned *)
+  mutable data : 'a array; (* [||] when empty *)
   mutable size : int;
   capacity_hint : int;
 }
 
-let create ?(capacity = 16) ~cmp () =
-  { cmp; data = [||]; size = 0; capacity_hint = max capacity 1 }
+let create ?(capacity = 16) ~dummy ~cmp () =
+  { cmp; dummy; data = [||]; size = 0; capacity_hint = max capacity 1 }
 
 let size t = t.size
 let is_empty t = t.size = 0
 
-let ensure_room t filler =
-  if Array.length t.data = 0 then t.data <- Array.make t.capacity_hint filler
+let ensure_room t =
+  if Array.length t.data = 0 then t.data <- Array.make t.capacity_hint t.dummy
   else if t.size = Array.length t.data then begin
-    let data = Array.make (2 * Array.length t.data) filler in
+    let data = Array.make (2 * Array.length t.data) t.dummy in
     Array.blit t.data 0 data 0 t.size;
     t.data <- data
   end
@@ -44,7 +45,7 @@ let rec sift_down t i =
   end
 
 let push t x =
-  ensure_room t x;
+  ensure_room t;
   t.data.(t.size) <- x;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
@@ -57,8 +58,10 @@ let pop t =
     let root = t.data.(0) in
     t.size <- t.size - 1;
     t.data.(0) <- t.data.(t.size);
-    (* Leave the slot holding a duplicate; it is beyond [size] and will be
-       overwritten by the next push.  Avoids needing a dummy element. *)
+    (* Overwrite the vacated slot with the dummy: leaving the moved
+       element's duplicate there would pin it (and every closure it
+       captures) in the array long after it is popped. *)
+    t.data.(t.size) <- t.dummy;
     if t.size > 0 then sift_down t 0;
     Some root
   end
@@ -68,7 +71,9 @@ let pop_exn t =
   | Some x -> x
   | None -> invalid_arg "Heap.pop_exn: empty heap"
 
-let clear t = t.size <- 0
+let clear t =
+  Array.fill t.data 0 t.size t.dummy;
+  t.size <- 0
 
 let to_sorted_list t =
   let copy = { t with data = Array.copy t.data } in

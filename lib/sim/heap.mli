@@ -2,13 +2,22 @@
 
     The ordering is supplied at creation time.  Used by the event scheduler
     and by several analysis routines; kept separate so it can be property
-    tested in isolation. *)
+    tested in isolation.
+
+    The heap never retains references to popped or cleared elements: every
+    vacated slot is overwritten with the creation-time [dummy].  This
+    matters when elements are closures — the event queue's thunks capture
+    packets and flows, and a heap that pinned them in the backing array
+    would leak a run's worth of simulation state. *)
 
 type 'a t
 
-val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+val create : ?capacity:int -> dummy:'a -> cmp:('a -> 'a -> int) -> unit -> 'a t
 (** Fresh empty heap.  [cmp] must be a total order; the minimum element
-    (per [cmp]) is served first. *)
+    (per [cmp]) is served first.  [dummy] is a throwaway value of the
+    element type used to fill unused slots of the backing array; it is
+    never compared against, never returned, and should not capture
+    anything worth collecting. *)
 
 val size : 'a t -> int
 val is_empty : 'a t -> bool
@@ -20,12 +29,14 @@ val peek : 'a t -> 'a option
 (** Smallest element without removing it.  O(1). *)
 
 val pop : 'a t -> 'a option
-(** Remove and return the smallest element.  O(log n). *)
+(** Remove and return the smallest element.  O(log n).  The heap drops
+    its reference to the element. *)
 
 val pop_exn : 'a t -> 'a
 (** @raise Invalid_argument on an empty heap. *)
 
 val clear : 'a t -> unit
+(** Empty the heap, overwriting all occupied slots with the dummy. *)
 
 val to_sorted_list : 'a t -> 'a list
 (** Drains a copy of the heap; the heap itself is unchanged.  O(n log n). *)

@@ -18,6 +18,15 @@ type t = {
 }
 
 let create ?(bound = infinity) ~rng policy =
+  if Float.is_nan bound || bound < 0. then
+    invalid_arg "Jitter.create: bound must be non-negative";
+  (match policy with
+  | Uniform { lo; hi } ->
+      if not (Float.is_finite lo && Float.is_finite hi) then
+        invalid_arg "Jitter.create: Uniform bounds must be finite";
+      if lo < 0. then invalid_arg "Jitter.create: Uniform lo must be >= 0";
+      if lo > hi then invalid_arg "Jitter.create: Uniform lo > hi"
+  | No_jitter | Constant _ | Trace _ | Controller _ -> ());
   {
     policy;
     bound;

@@ -27,7 +27,18 @@ type t
 
 val create : ?bound:float -> rng:Rng.t -> policy -> t
 (** [bound] is the model's D; defaults to [infinity] (policy output is
-    trusted).  Draws for [Uniform] come from [rng]. *)
+    trusted).  Draws for [Uniform] come from [rng].
+
+    [Uniform] parameters are validated here rather than surfacing as
+    garbage mid-run: both bounds must be finite with [0 <= lo <= hi].
+    ([hi] larger than [bound] is allowed — the element clamps at release
+    time and counts violations, which the threshold experiments rely
+    on.)  [bound] itself must be non-negative ([infinity] ok).
+    [Constant]/[Trace]/[Controller] delays are deliberately not
+    validated: out-of-range requests from them are the adversarial
+    inputs the violation counters exist to measure.
+    @raise Invalid_argument on an invalid [Uniform] or negative/NaN
+    [bound]. *)
 
 val release_time : t -> request -> float
 (** Time at which the packet leaves the element: arrival + clamped policy

@@ -20,12 +20,10 @@ module Online = struct
   let count t = t.n
   let mean t = if t.n = 0 then nan else t.mean
 
-  let variance t =
-    if t.n = 0 then nan else if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
-
+  let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
   let stddev t = sqrt (variance t)
-  let min t = t.min
-  let max t = t.max
+  let min t = if t.n = 0 then nan else t.min
+  let max t = if t.n = 0 then nan else t.max
 end
 
 let mean xs =
@@ -64,4 +62,8 @@ let max_min_ratio xs =
   | x :: rest ->
       let mn = List.fold_left Float.min x rest in
       let mx = List.fold_left Float.max x rest in
+      (* Throughputs are non-negative by construction; with a negative
+         value the old code could return 1. (mx = 0 while mn < 0), which
+         silently read "perfectly fair".  Reject instead. *)
+      if mn < 0. then invalid_arg "Stats.max_min_ratio: negative value";
       if mx = 0. then 1. else if mn = 0. then infinity else mx /. mn

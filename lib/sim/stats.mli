@@ -11,11 +11,19 @@ module Online : sig
   (** [nan] when empty. *)
 
   val variance : t -> float
-  (** Sample variance; [0.] for fewer than two samples, [nan] when empty. *)
+  (** Sample variance (n-1 denominator).  [nan] for fewer than two
+      samples: a singleton has no spread estimate, and returning [0.]
+      for it while [mean] of an empty accumulator is [nan] made the
+      small-count conventions inconsistent. *)
 
   val stddev : t -> float
+  (** [sqrt (variance t)]; [nan] for fewer than two samples. *)
+
   val min : t -> float
+  (** Smallest sample seen; [nan] when empty (not [infinity]). *)
+
   val max : t -> float
+  (** Largest sample seen; [nan] when empty (not [neg_infinity]). *)
 end
 
 val mean : float array -> float
@@ -32,4 +40,6 @@ val jain_index : float list -> float
 
 val max_min_ratio : float list -> float
 (** Ratio of the largest to the smallest value; [infinity] if the smallest is
-    zero while the largest is positive, [1.] when all are zero. *)
+    zero while the largest is positive, [1.] when all are zero.  Values must
+    be non-negative (they are throughputs).
+    @raise Invalid_argument on an empty list or any negative value. *)

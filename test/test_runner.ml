@@ -1,0 +1,305 @@
+(* Tests for the parallel job runner: pool determinism across worker
+   counts, stdout capture and replay, the on-disk cache, and failure
+   handling (job exceptions, crashed workers, timeouts). *)
+
+let job i =
+  Runner.Job.create
+    ~key:(Printf.sprintf "t/sq/%d" i)
+    (fun () ->
+      Printf.printf "job %d starts\n" i;
+      print_string (String.concat "" (List.init (i mod 3) (fun _ -> ".")));
+      Printf.printf "\njob %d done\n" i;
+      i * i)
+
+let jobs n = List.init n job
+
+let decoded results =
+  List.map (fun (out, b) -> (out, (Runner.Job.decode b : int))) results
+
+let fresh_dir prefix =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s_%d_%.0f" prefix (Unix.getpid ())
+         (Unix.gettimeofday () *. 1e6))
+  in
+  (* Cache.create makes the directory itself. *)
+  d
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Serial execution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_serial_order_and_stats () =
+  let results, stats = Runner.Pool.run (jobs 7) in
+  let vals = List.map snd (decoded results) in
+  Alcotest.(check (list int)) "results in job order"
+    [ 0; 1; 4; 9; 16; 25; 36 ] vals;
+  Alcotest.(check int) "jobs" 7 stats.Runner.Pool.jobs;
+  Alcotest.(check int) "executed" 7 stats.Runner.Pool.executed;
+  Alcotest.(check int) "cache hits" 0 stats.Runner.Pool.cache_hits;
+  Alcotest.(check int) "respawns" 0 stats.Runner.Pool.respawns
+
+let test_serial_captures_stdout () =
+  let results, _ = Runner.Pool.run [ job 5 ] in
+  match results with
+  | [ (out, _) ] ->
+      Alcotest.(check string) "captured text" "job 5 starts\n..\njob 5 done\n" out
+  | _ -> Alcotest.fail "expected one result"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel execution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_matches_serial () =
+  let serial, _ = Runner.Pool.run (jobs 20) in
+  let parallel, stats = Runner.Pool.run ~workers:4 (jobs 20) in
+  Alcotest.(check (list (pair string int)))
+    "same (stdout, result) in same order" (decoded serial) (decoded parallel);
+  Alcotest.(check int) "executed" 20 stats.Runner.Pool.executed;
+  Alcotest.(check int) "respawns" 0 stats.Runner.Pool.respawns
+
+let test_more_workers_than_jobs () =
+  let results, stats = Runner.Pool.run ~workers:16 (jobs 3) in
+  Alcotest.(check (list int)) "results" [ 0; 1; 4 ]
+    (List.map snd (decoded results));
+  Alcotest.(check int) "executed" 3 stats.Runner.Pool.executed
+
+let test_empty_job_list () =
+  let results, stats = Runner.Pool.run ~workers:4 [] in
+  Alcotest.(check int) "no results" 0 (List.length results);
+  Alcotest.(check int) "no jobs" 0 stats.Runner.Pool.jobs
+
+(* ------------------------------------------------------------------ *)
+(* Failure handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_job_exception_serial () =
+  let bad =
+    Runner.Job.create ~key:"t/raise" (fun () -> if true then failwith "boom" else 0)
+  in
+  match Runner.Pool.run [ job 1; bad ] with
+  | exception Runner.Pool.Job_failed { key; reason } ->
+      Alcotest.(check string) "failing key" "t/raise" key;
+      Alcotest.(check bool) "reason mentions boom" true
+        (String.length reason > 0)
+  | _ -> Alcotest.fail "expected Job_failed"
+
+let test_job_exception_parallel () =
+  let bad =
+    Runner.Job.create ~key:"t/raise-par" (fun () -> if true then failwith "boom" else 0)
+  in
+  match Runner.Pool.run ~workers:2 [ job 1; bad; job 2 ] with
+  | exception Runner.Pool.Job_failed { key; _ } ->
+      Alcotest.(check string) "failing key" "t/raise-par" key
+  | _ -> Alcotest.fail "expected Job_failed"
+
+let test_crashed_worker_respawns () =
+  (* The job SIGKILLs its own worker on the first attempt (marker file
+     absent) and succeeds on the retry.  Requires >= 2 workers so the
+     suicide happens in a forked child, never in the test process. *)
+  let marker = Filename.temp_file "runner_crash" ".marker" in
+  Sys.remove marker;
+  let suicidal =
+    Runner.Job.create ~key:"t/suicide" (fun () ->
+        if not (Sys.file_exists marker) then begin
+          Out_channel.with_open_bin marker (fun oc ->
+              Out_channel.output_string oc "x");
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+        end;
+        42)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove marker with Sys_error _ -> ())
+    (fun () ->
+      let results, stats =
+        Runner.Pool.run ~workers:2 [ job 1; suicidal; job 2 ]
+      in
+      Alcotest.(check (list int)) "all results present" [ 1; 42; 4 ]
+        (List.map snd (decoded results));
+      Alcotest.(check bool) "respawned at least once" true
+        (stats.Runner.Pool.respawns >= 1))
+
+let test_persistent_crash_fails () =
+  let suicidal =
+    Runner.Job.create ~key:"t/always-dies" (fun () ->
+        Unix.kill (Unix.getpid ()) Sys.sigkill;
+        0)
+  in
+  match Runner.Pool.run ~workers:2 ~max_attempts:2 [ suicidal ] with
+  | exception Runner.Pool.Job_failed { key; _ } ->
+      Alcotest.(check string) "failing key" "t/always-dies" key
+  | _ -> Alcotest.fail "expected Job_failed"
+
+let test_timeout_kills_stuck_worker () =
+  let stuck =
+    Runner.Job.create ~key:"t/stuck" (fun () ->
+        Unix.sleep 30;
+        0)
+  in
+  match Runner.Pool.run ~workers:2 ~timeout:0.4 ~max_attempts:1 [ stuck ] with
+  | exception Runner.Pool.Job_failed { key; reason } ->
+      Alcotest.(check string) "failing key" "t/stuck" key;
+      Alcotest.(check bool) "reason mentions timeout" true
+        (String.length reason > 0)
+  | _ -> Alcotest.fail "expected Job_failed"
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_roundtrip () =
+  let dir = fresh_dir "runner_cache_rt" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let c = Runner.Cache.create ~dir ~version:"v1" () in
+      Alcotest.(check (option (pair string bytes))) "miss on empty" None
+        (Runner.Cache.find c ~key:"k");
+      Runner.Cache.store c ~key:"k" ~stdout:"hello\n"
+        ~payload:(Marshal.to_bytes 17 []);
+      (match Runner.Cache.find c ~key:"k" with
+      | Some (out, payload) ->
+          Alcotest.(check string) "stdout back" "hello\n" out;
+          Alcotest.(check int) "payload back" 17 (Marshal.from_bytes payload 0)
+      | None -> Alcotest.fail "expected hit");
+      Alcotest.(check int) "one hit" 1 (Runner.Cache.hits c);
+      Alcotest.(check int) "one miss" 1 (Runner.Cache.misses c))
+
+let test_cache_version_invalidates () =
+  let dir = fresh_dir "runner_cache_ver" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let c1 = Runner.Cache.create ~dir ~version:"v1" () in
+      Runner.Cache.store c1 ~key:"k" ~stdout:"" ~payload:(Bytes.of_string "p");
+      let c2 = Runner.Cache.create ~dir ~version:"v2" () in
+      Alcotest.(check bool) "other version misses" true
+        (Runner.Cache.find c2 ~key:"k" = None);
+      let c1' = Runner.Cache.create ~dir ~version:"v1" () in
+      Alcotest.(check bool) "same version hits" true
+        (Runner.Cache.find c1' ~key:"k" <> None))
+
+let run_with_cache ~dir ~workers n =
+  let cache = Runner.Cache.create ~dir ~version:"test" () in
+  Runner.Pool.run ~workers ~cache (jobs n)
+
+let test_cached_rerun_executes_nothing () =
+  let dir = fresh_dir "runner_cache_pool" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let cold, s1 = run_with_cache ~dir ~workers:1 9 in
+      Alcotest.(check int) "cold run executes all" 9 s1.Runner.Pool.executed;
+      let warm, s2 = run_with_cache ~dir ~workers:1 9 in
+      Alcotest.(check int) "warm run executes nothing" 0 s2.Runner.Pool.executed;
+      Alcotest.(check int) "warm run all hits" 9 s2.Runner.Pool.cache_hits;
+      Alcotest.(check (list (pair string int))) "identical replay"
+        (decoded cold) (decoded warm);
+      (* A parallel run over a warm cache is identical too. *)
+      let warm_par, s3 = run_with_cache ~dir ~workers:4 9 in
+      Alcotest.(check int) "parallel warm all hits" 9 s3.Runner.Pool.cache_hits;
+      Alcotest.(check (list (pair string int))) "identical parallel replay"
+        (decoded cold) (decoded warm_par))
+
+let test_parallel_run_fills_cache () =
+  let dir = fresh_dir "runner_cache_par" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let _, s1 = run_with_cache ~dir ~workers:4 12 in
+      Alcotest.(check int) "parallel cold executes all" 12
+        s1.Runner.Pool.executed;
+      let _, s2 = run_with_cache ~dir ~workers:1 12 in
+      Alcotest.(check int) "serial warm run hits parallel entries" 12
+        s2.Runner.Pool.cache_hits)
+
+(* ------------------------------------------------------------------ *)
+(* Registry plans                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_plans_cover_all () =
+  List.iter
+    (fun e ->
+      let p = e.Experiments.Registry.plan ~quick:true in
+      Alcotest.(check bool)
+        (e.Experiments.Registry.key ^ " has jobs")
+        true
+        (List.length p.Experiments.Registry.jobs >= 1))
+    Experiments.Registry.all
+
+let test_registry_job_keys_unique () =
+  let keys =
+    List.concat_map
+      (fun e ->
+        List.map Runner.Job.key
+          (e.Experiments.Registry.plan ~quick:true).Experiments.Registry.jobs)
+      Experiments.Registry.all
+  in
+  let distinct = List.sort_uniq String.compare keys in
+  Alcotest.(check int) "keys globally unique" (List.length keys)
+    (List.length distinct);
+  (* Quick and full plans must not collide either: a quick result must
+     never satisfy a full-mode lookup. *)
+  let full_keys =
+    List.concat_map
+      (fun e ->
+        List.map Runner.Job.key
+          (e.Experiments.Registry.plan ~quick:false).Experiments.Registry.jobs)
+      Experiments.Registry.all
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " not shared with full mode") false
+        (List.mem k full_keys))
+    keys
+
+let () =
+  Alcotest.run "runner"
+    [
+      ( "serial",
+        [
+          Alcotest.test_case "order and stats" `Quick test_serial_order_and_stats;
+          Alcotest.test_case "captures stdout" `Quick test_serial_captures_stdout;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "matches serial" `Quick test_parallel_matches_serial;
+          Alcotest.test_case "more workers than jobs" `Quick
+            test_more_workers_than_jobs;
+          Alcotest.test_case "empty job list" `Quick test_empty_job_list;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "job exception serial" `Quick test_job_exception_serial;
+          Alcotest.test_case "job exception parallel" `Quick
+            test_job_exception_parallel;
+          Alcotest.test_case "crashed worker respawns" `Quick
+            test_crashed_worker_respawns;
+          Alcotest.test_case "persistent crash fails" `Quick
+            test_persistent_crash_fails;
+          Alcotest.test_case "timeout kills stuck worker" `Quick
+            test_timeout_kills_stuck_worker;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "version invalidates" `Quick
+            test_cache_version_invalidates;
+          Alcotest.test_case "cached rerun executes nothing" `Quick
+            test_cached_rerun_executes_nothing;
+          Alcotest.test_case "parallel run fills cache" `Quick
+            test_parallel_run_fills_cache;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "plans cover all experiments" `Quick
+            test_registry_plans_cover_all;
+          Alcotest.test_case "job keys unique" `Quick test_registry_job_keys_unique;
+        ] );
+    ]

@@ -9,7 +9,7 @@ let check_float_eps eps = Alcotest.(check (float eps))
 (* ------------------------------------------------------------------ *)
 
 let test_heap_basic () =
-  let h = Sim.Heap.create ~cmp:Int.compare () in
+  let h = Sim.Heap.create ~dummy:0 ~cmp:Int.compare () in
   Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h);
   List.iter (Sim.Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
   Alcotest.(check int) "size" 6 (Sim.Heap.size h);
@@ -19,13 +19,13 @@ let test_heap_basic () =
   Alcotest.(check int) "size after" 4 (Sim.Heap.size h)
 
 let test_heap_pop_exn_empty () =
-  let h = Sim.Heap.create ~cmp:Int.compare () in
+  let h = Sim.Heap.create ~dummy:0 ~cmp:Int.compare () in
   Alcotest.check_raises "empty pop_exn"
     (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
       ignore (Sim.Heap.pop_exn h))
 
 let test_heap_clear () =
-  let h = Sim.Heap.create ~cmp:Int.compare () in
+  let h = Sim.Heap.create ~dummy:0 ~cmp:Int.compare () in
   List.iter (Sim.Heap.push h) [ 3; 1; 2 ];
   Sim.Heap.clear h;
   Alcotest.(check bool) "empty after clear" true (Sim.Heap.is_empty h);
@@ -33,7 +33,7 @@ let test_heap_clear () =
   Alcotest.(check (option int)) "usable after clear" (Some 9) (Sim.Heap.peek h)
 
 let test_heap_to_sorted_preserves () =
-  let h = Sim.Heap.create ~cmp:Int.compare () in
+  let h = Sim.Heap.create ~dummy:0 ~cmp:Int.compare () in
   List.iter (Sim.Heap.push h) [ 4; 2; 7 ];
   Alcotest.(check (list int)) "sorted" [ 2; 4; 7 ] (Sim.Heap.to_sorted_list h);
   Alcotest.(check int) "unchanged" 3 (Sim.Heap.size h)
@@ -42,7 +42,7 @@ let prop_heap_sorts =
   QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
     QCheck.(list int)
     (fun xs ->
-      let h = Sim.Heap.create ~cmp:Int.compare () in
+      let h = Sim.Heap.create ~dummy:0 ~cmp:Int.compare () in
       List.iter (Sim.Heap.push h) xs;
       let drained = Sim.Heap.to_sorted_list h in
       drained = List.sort Int.compare xs)
@@ -51,7 +51,7 @@ let prop_heap_interleaved =
   QCheck.Test.make ~name:"heap peek is minimum under interleaved ops" ~count:200
     QCheck.(list (pair bool small_int))
     (fun ops ->
-      let h = Sim.Heap.create ~cmp:Int.compare () in
+      let h = Sim.Heap.create ~dummy:0 ~cmp:Int.compare () in
       let model = ref [] in
       List.for_all
         (fun (is_push, x) ->
@@ -79,6 +79,52 @@ let prop_heap_interleaved =
           end)
         ops)
 
+(* Regression for a space leak: [pop] used to leave the popped root's
+   replacement duplicated in the vacated tail slot, pinning elements (and
+   anything their closures captured) until the slot was overwritten by a
+   later push.  A drained heap must not reach any popped element. *)
+let test_heap_pop_releases () =
+  let h =
+    Sim.Heap.create ~dummy:(ref 0) ~cmp:(fun a b -> Int.compare !a !b) ()
+  in
+  let n = 8 in
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    let r = ref i in
+    Weak.set w i (Some r);
+    Sim.Heap.push h r
+  done;
+  while not (Sim.Heap.is_empty h) do
+    ignore (Sim.Heap.pop h)
+  done;
+  Gc.full_major ();
+  for i = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "element %d collected after drain" i)
+      true
+      (Weak.get w i = None)
+  done
+
+let test_heap_clear_releases () =
+  let h =
+    Sim.Heap.create ~dummy:(ref 0) ~cmp:(fun a b -> Int.compare !a !b) ()
+  in
+  let n = 8 in
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    let r = ref i in
+    Weak.set w i (Some r);
+    Sim.Heap.push h r
+  done;
+  Sim.Heap.clear h;
+  Gc.full_major ();
+  for i = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "element %d collected after clear" i)
+      true
+      (Weak.get w i = None)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Event queue                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -102,6 +148,29 @@ let test_eq_fifo_ties () =
   Sim.Event_queue.run eq;
   Alcotest.(check (list int)) "fifo ties" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
     (List.rev !log)
+
+let prop_eq_stable_order =
+  QCheck.Test.make
+    ~name:"event queue drains in (time, insertion) order under random times"
+    ~count:200
+    QCheck.(list_of_size Gen.(0 -- 40) (int_range 0 5))
+    (fun times ->
+      (* Times drawn from a tiny set so equal-time ties are the common
+         case: ties must fire in insertion (FIFO) order. *)
+      let eq = Sim.Event_queue.create () in
+      let log = ref [] in
+      List.iteri
+        (fun i t ->
+          Sim.Event_queue.schedule eq ~at:(float_of_int t) (fun () ->
+              log := i :: !log))
+        times;
+      Sim.Event_queue.run eq;
+      let expect =
+        List.mapi (fun i t -> (t, i)) times
+        |> List.stable_sort (fun (a, _) (b, _) -> Int.compare a b)
+        |> List.map snd
+      in
+      List.rev !log = expect)
 
 let test_eq_past_rejected () =
   let eq = Sim.Event_queue.create () in
@@ -219,6 +288,40 @@ let test_max_min_ratio () =
   check_float "ratio" 4. (Sim.Stats.max_min_ratio [ 1.; 4.; 2. ]);
   check_float "all zero" 1. (Sim.Stats.max_min_ratio [ 0.; 0. ]);
   Alcotest.(check bool) "inf" true (Sim.Stats.max_min_ratio [ 0.; 1. ] = infinity)
+
+(* Regressions for the small-count/sign conventions: empty extrema used
+   to leak their +/-infinity initializers, a singleton "had" variance 0,
+   and a negative value could make max_min_ratio report 1 (mx = 0, mn < 0)
+   as if the shares were perfectly fair. *)
+let test_online_empty_is_nan () =
+  let o = Sim.Stats.Online.create () in
+  Alcotest.(check int) "count" 0 (Sim.Stats.Online.count o);
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " is nan") true (Float.is_nan v))
+    [
+      ("mean", Sim.Stats.Online.mean o);
+      ("variance", Sim.Stats.Online.variance o);
+      ("stddev", Sim.Stats.Online.stddev o);
+      ("min", Sim.Stats.Online.min o);
+      ("max", Sim.Stats.Online.max o);
+    ]
+
+let test_online_singleton () =
+  let o = Sim.Stats.Online.create () in
+  Sim.Stats.Online.add o 5.;
+  check_float "mean" 5. (Sim.Stats.Online.mean o);
+  check_float "min" 5. (Sim.Stats.Online.min o);
+  check_float "max" 5. (Sim.Stats.Online.max o);
+  Alcotest.(check bool) "variance undefined" true
+    (Float.is_nan (Sim.Stats.Online.variance o));
+  Alcotest.(check bool) "stddev undefined" true
+    (Float.is_nan (Sim.Stats.Online.stddev o))
+
+let test_max_min_ratio_rejects_negative () =
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Stats.max_min_ratio: negative value") (fun () ->
+      ignore (Sim.Stats.max_min_ratio [ -1.; 0. ]))
 
 let prop_jain_bounds =
   QCheck.Test.make ~name:"jain index in (0,1]" ~count:200
@@ -413,6 +516,37 @@ let test_jitter_no_violation_no_excess () =
   done;
   Alcotest.(check int) "bound-riding is legal" 0 (Sim.Jitter.violations j);
   check_float "no excess" 0. (Sim.Jitter.worst_excess j)
+
+let test_jitter_create_validates () =
+  let rng () = Sim.Rng.create ~seed:1 in
+  Alcotest.check_raises "lo > hi"
+    (Invalid_argument "Jitter.create: Uniform lo > hi") (fun () ->
+      ignore
+        (Sim.Jitter.create ~rng:(rng ())
+           (Sim.Jitter.Uniform { lo = 0.02; hi = 0.01 })));
+  Alcotest.check_raises "negative lo"
+    (Invalid_argument "Jitter.create: Uniform lo must be >= 0") (fun () ->
+      ignore
+        (Sim.Jitter.create ~rng:(rng ())
+           (Sim.Jitter.Uniform { lo = -0.01; hi = 0.01 })));
+  Alcotest.check_raises "nan hi"
+    (Invalid_argument "Jitter.create: Uniform bounds must be finite") (fun () ->
+      ignore
+        (Sim.Jitter.create ~rng:(rng ())
+           (Sim.Jitter.Uniform { lo = 0.; hi = nan })));
+  Alcotest.check_raises "infinite hi"
+    (Invalid_argument "Jitter.create: Uniform bounds must be finite") (fun () ->
+      ignore
+        (Sim.Jitter.create ~rng:(rng ())
+           (Sim.Jitter.Uniform { lo = 0.; hi = infinity })));
+  Alcotest.check_raises "negative bound"
+    (Invalid_argument "Jitter.create: bound must be non-negative") (fun () ->
+      ignore (Sim.Jitter.create ~bound:(-0.5) ~rng:(rng ()) Sim.Jitter.No_jitter));
+  (* Over-bound Uniform hi is a legal adversary: clamped and counted at
+     release time, not rejected at construction. *)
+  ignore
+    (Sim.Jitter.create ~bound:0.01 ~rng:(rng ())
+       (Sim.Jitter.Uniform { lo = 0.; hi = 0.05 }))
 
 let prop_jitter_uniform_in_bounds =
   QCheck.Test.make ~name:"uniform jitter stays within [lo,hi] and never reorders"
@@ -612,6 +746,61 @@ let prop_transmit_end_consistent_with_rate =
         done;
         Float.abs (!acc -. float_of_int bytes)
         < 0.01 *. Float.max 1. (float_of_int bytes)
+      end)
+
+(* Exact cross-check of [transmit_end] against [rate_at]: the rate is
+   piecewise constant, so integrating it between consecutive cut points
+   (breakpoints clipped to the interval), sampling each piece at its
+   midpoint, is exact up to float rounding — no discretization error,
+   unlike the sampled property above.  Rates include 0 so outages and the
+   dead-tail/infinity branch are exercised. *)
+let piecewise_integral rate segs ~t0 ~t1 =
+  let cuts =
+    Array.to_list (Array.map fst segs)
+    |> List.filter (fun c -> c > t0 && c < t1)
+    |> List.sort_uniq Float.compare
+  in
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+        go (acc +. (Sim.Link.rate_at rate ((a +. b) /. 2.) *. (b -. a))) rest
+    | _ -> acc
+  in
+  go 0. ((t0 :: cuts) @ [ t1 ])
+
+let prop_transmit_end_exact_integral =
+  QCheck.Test.make
+    ~name:"piecewise transmit_end agrees with exact rate_at integral"
+    ~count:500
+    QCheck.(triple (float_range 0. 6.) (int_range 0 50_000)
+              (list_of_size Gen.(1 -- 6)
+                 (pair (float_range 0.1 2.) (int_range 0 3))))
+    (fun (start, bytes, spec) ->
+      (* Irregular breakpoints (cumulative gaps); rates drawn from a set
+         containing 0 so zero-rate segments are common. *)
+      let rates = [| 0.; 500.; 5_000.; 50_000. |] in
+      let t = ref 0. in
+      let segs =
+        Array.of_list
+          (List.map
+             (fun (gap, ri) ->
+               t := !t +. gap;
+               (!t, rates.(ri)))
+             spec)
+      in
+      let rate = Sim.Link.Piecewise segs in
+      let finish = Sim.Link.transmit_end rate ~start ~bytes in
+      let b = float_of_int bytes in
+      if Float.is_finite finish then
+        finish >= start
+        && Float.abs (piecewise_integral rate segs ~t0:start ~t1:finish -. b)
+           <= 1e-6 *. Float.max 1. b
+      else begin
+        (* [infinity] is only correct when the final segment's rate is 0
+           and the finite prefix cannot carry the payload. *)
+        let last = fst segs.(Array.length segs - 1) in
+        let upto = Float.max last start in
+        Sim.Link.rate_at rate (upto +. 1.) = 0.
+        && piecewise_integral rate segs ~t0:start ~t1:upto < b
       end)
 
 (* ------------------------------------------------------------------ *)
@@ -1418,6 +1607,9 @@ let () =
           Alcotest.test_case "pop_exn empty" `Quick test_heap_pop_exn_empty;
           Alcotest.test_case "clear" `Quick test_heap_clear;
           Alcotest.test_case "to_sorted preserves" `Quick test_heap_to_sorted_preserves;
+          Alcotest.test_case "pop releases elements" `Quick test_heap_pop_releases;
+          Alcotest.test_case "clear releases elements" `Quick
+            test_heap_clear_releases;
           qt prop_heap_sorts;
           qt prop_heap_interleaved;
         ] );
@@ -1431,6 +1623,7 @@ let () =
             test_eq_run_until_excludes_future;
           Alcotest.test_case "schedule_after clamps" `Quick
             test_eq_schedule_after_negative_clamped;
+          qt prop_eq_stable_order;
         ] );
       ( "rng",
         [
@@ -1448,6 +1641,10 @@ let () =
           Alcotest.test_case "percentile invalid" `Quick test_percentile_invalid;
           Alcotest.test_case "jain" `Quick test_jain;
           Alcotest.test_case "max min ratio" `Quick test_max_min_ratio;
+          Alcotest.test_case "online empty is nan" `Quick test_online_empty_is_nan;
+          Alcotest.test_case "online singleton" `Quick test_online_singleton;
+          Alcotest.test_case "max min ratio rejects negative" `Quick
+            test_max_min_ratio_rejects_negative;
           qt prop_jain_bounds;
           qt prop_online_matches_batch_mean;
         ] );
@@ -1473,6 +1670,7 @@ let () =
             test_jitter_violation_accounting;
           Alcotest.test_case "bound riding legal" `Quick
             test_jitter_no_violation_no_excess;
+          Alcotest.test_case "create validates" `Quick test_jitter_create_validates;
           qt prop_jitter_uniform_in_bounds;
         ] );
       ( "link",
@@ -1492,6 +1690,7 @@ let () =
           Alcotest.test_case "set_buffer" `Quick test_link_set_buffer;
           QCheck_alcotest.to_alcotest prop_link_conserves_bytes;
           QCheck_alcotest.to_alcotest prop_transmit_end_consistent_with_rate;
+          QCheck_alcotest.to_alcotest prop_transmit_end_exact_integral;
         ] );
       ( "aqm",
         [
