@@ -7,9 +7,15 @@
    Part 2 runs bechamel microbenchmarks over the simulator's hot paths so
    performance regressions in the substrate are visible.
 
-   Pass --quick for shortened simulation runs. *)
+   Part 3 is the macro throughput benchmark: simulated-seconds/sec,
+   packets/sec and GC pressure on a canonical 1 s Reno run, written to
+   BENCH_simulator.json next to a recorded pre-optimization baseline.
+
+   Pass --quick for shortened simulation runs, --macro to run only the
+   macro benchmark (the CI bench-smoke entry point). *)
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+let macro_only = Array.exists (fun a -> a = "--macro") Sys.argv
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: paper tables and figures                                    *)
@@ -287,7 +293,120 @@ let pool_speedup () =
   Printf.printf "serial %.2f s, 4 workers %.2f s: %.1fx speedup\n" serial forked
     (serial /. forked)
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: macro throughput benchmark                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Pre-optimization numbers for the same canonical run, measured at the
+   commit before the allocation-light hot path landed (main@66340fc,
+   same measurement loop, same host class).  Kept here so every
+   BENCH_simulator.json records the comparison it claims. *)
+let macro_baseline_packets_per_sec = 226_388.
+let macro_baseline_minor_words_per_packet = 165.6
+let macro_baseline_peak_pending = 44
+let macro_baseline_commit = "main@66340fc"
+
+let macro_config () =
+  let rate = Sim.Units.mbps 12. in
+  Sim.Network.config ~rate:(Sim.Link.Constant rate)
+    ~buffer:(Sim.Units.bdp_bytes ~rate ~rtt:0.04) ~rm:0.04 ~duration:1.
+    [ Sim.Network.flow (Reno.make ()) ]
+
+(* Peak event-queue occupancy on a 2-flow run: with per-flow delay lines
+   this stays O(flows + link), independent of the bandwidth-delay
+   product, where per-packet scheduling scaled with packets in flight. *)
+let macro_peak_pending () =
+  let rate = Sim.Units.mbps 12. in
+  let cfg =
+    Sim.Network.config ~rate:(Sim.Link.Constant rate)
+      ~buffer:(Sim.Units.bdp_bytes ~rate ~rtt:0.04) ~rm:0.04 ~duration:1.
+      [ Sim.Network.flow (Reno.make ()); Sim.Network.flow (Reno.make ()) ]
+  in
+  let net = Sim.Network.build cfg in
+  let eq = Sim.Network.event_queue net in
+  let peak = ref 0 in
+  while Sim.Event_queue.now eq < 1.0 && Sim.Event_queue.step eq do
+    peak := max !peak (Sim.Event_queue.pending eq)
+  done;
+  !peak
+
+let write_bench_json path fields =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          Printf.fprintf oc "  %S: %s%s\n" k v
+            (if i = List.length fields - 1 then "" else ","))
+        fields;
+      output_string oc "}\n")
+
+let macro_bench () =
+  let cfg = macro_config () in
+  (* Warm up: code paths, minor heap sizing, series growth. *)
+  ignore (Sim.Network.run_config cfg);
+  let reps = if quick then 5 else 30 in
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let pkts = ref 0 in
+  let fallbacks = ref 0 in
+  for _ = 1 to reps do
+    let net = Sim.Network.run_config cfg in
+    let f = (Sim.Network.flows net).(0) in
+    pkts := !pkts + (Sim.Flow.delivered_bytes f / 1500);
+    fallbacks := !fallbacks + Sim.Network.delay_line_fallbacks net
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let minor = Gc.minor_words () -. w0 in
+  let top_heap = (Gc.quick_stat ()).Gc.top_heap_words in
+  let packets_per_sec = float_of_int !pkts /. dt in
+  let words_per_pkt = minor /. float_of_int !pkts in
+  let sim_sec_per_sec = float_of_int reps /. dt in
+  let peak_pending = macro_peak_pending () in
+  let speedup = packets_per_sec /. macro_baseline_packets_per_sec in
+  let alloc_factor = macro_baseline_minor_words_per_packet /. words_per_pkt in
+  Printf.printf "\n== Macro simulator benchmark (1 s Reno run x %d) ==\n" reps;
+  Printf.printf "%-34s %12s %12s %8s\n" "metric" "baseline" "now" "ratio";
+  Printf.printf "%-34s %12.0f %12.0f %7.2fx\n" "packets/sec"
+    macro_baseline_packets_per_sec packets_per_sec speedup;
+  Printf.printf "%-34s %12.1f %12.1f %7.2fx\n" "GC minor words/packet"
+    macro_baseline_minor_words_per_packet words_per_pkt alloc_factor;
+  Printf.printf "%-34s %12d %12d\n" "peak pending events (2 flows)"
+    macro_baseline_peak_pending peak_pending;
+  Printf.printf "%-34s %25.1f\n" "simulated seconds/sec" sim_sec_per_sec;
+  Printf.printf "%-34s %25d\n" "delay-line fallbacks" !fallbacks;
+  let json = "BENCH_simulator.json" in
+  write_bench_json json
+    [
+      ("benchmark", "\"simulator_macro\"");
+      ("mode", if quick then "\"quick\"" else "\"full\"");
+      ("reps", string_of_int reps);
+      ("simulated_seconds_per_sec", Printf.sprintf "%.1f" sim_sec_per_sec);
+      ("packets_per_sec", Printf.sprintf "%.1f" packets_per_sec);
+      ("minor_words_per_packet", Printf.sprintf "%.2f" words_per_pkt);
+      ("top_heap_words", string_of_int top_heap);
+      ("peak_pending_events_2flow", string_of_int peak_pending);
+      ("delay_line_fallbacks", string_of_int !fallbacks);
+      ("baseline_commit", Printf.sprintf "%S" macro_baseline_commit);
+      ( "baseline_packets_per_sec",
+        Printf.sprintf "%.1f" macro_baseline_packets_per_sec );
+      ( "baseline_minor_words_per_packet",
+        Printf.sprintf "%.2f" macro_baseline_minor_words_per_packet );
+      ( "baseline_peak_pending_events_2flow",
+        string_of_int macro_baseline_peak_pending );
+      ("speedup_packets_per_sec", Printf.sprintf "%.3f" speedup);
+      ("alloc_reduction_factor", Printf.sprintf "%.3f" alloc_factor);
+    ];
+  Printf.printf "wrote %s\n" json
+
 let () =
+  if macro_only then begin
+    macro_bench ();
+    exit 0
+  end;
   Printf.printf "Reproduction harness%s\n" (if quick then " (quick mode)" else "");
   let workers = Runner.Pool.default_workers () in
   let rows, stats = Experiments.Registry.run_all ~quick ~workers () in
@@ -298,4 +417,5 @@ let () =
   figures ();
   pool_speedup ();
   microbenches ();
+  macro_bench ();
   if good < List.length rows then exit 2

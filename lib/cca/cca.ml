@@ -1,13 +1,13 @@
 type ack_info = {
-  now : float;
-  rtt : float;
-  acked_bytes : int;
-  sent_time : float;
-  delivered : int;
-  delivered_now : int;
-  inflight : int;
-  app_limited : bool;
-  ecn_ce : bool;
+  mutable now : float;
+  mutable rtt : float;
+  mutable acked_bytes : int;
+  mutable sent_time : float;
+  mutable delivered : int;
+  mutable delivered_now : int;
+  mutable inflight : int;
+  mutable app_limited : bool;
+  mutable ecn_ce : bool;
 }
 
 type loss_info = {
@@ -18,7 +18,11 @@ type loss_info = {
   kind : [ `Dupack | `Timeout ];
 }
 
-type send_info = { now : float; sent_bytes : int; inflight : int }
+type send_info = {
+  mutable now : float;
+  mutable sent_bytes : int;
+  mutable inflight : int;
+}
 
 type t = {
   name : string;

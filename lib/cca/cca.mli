@@ -10,20 +10,29 @@
     state intact, on another — the operation at the heart of the paper's
     Theorem 1 construction. *)
 
-(** Information delivered to the CCA for every acknowledged packet. *)
+(** Information delivered to the CCA for every acknowledged packet.
+
+    Fields are mutable so drivers can reuse one scratch record across
+    calls instead of allocating ~10 words per ACK on the hot path.  The
+    record is only valid for the duration of the [on_ack] call: a CCA
+    must copy out any field it needs later and must not retain the
+    record itself. *)
 type ack_info = {
-  now : float;  (** time the ACK reached the sender *)
-  rtt : float;  (** RTT sampled by this packet, seconds *)
-  acked_bytes : int;  (** bytes newly acknowledged by this ACK *)
-  sent_time : float;  (** when the acked packet was sent *)
-  delivered : int;
+  mutable now : float;  (** time the ACK reached the sender *)
+  mutable rtt : float;  (** RTT sampled by this packet, seconds *)
+  mutable acked_bytes : int;  (** bytes newly acknowledged by this ACK *)
+  mutable sent_time : float;  (** when the acked packet was sent *)
+  mutable delivered : int;
       (** cumulative bytes delivered (receiver side) when the acked packet
           was sent — used with [delivered_now] for rate samples, as in
           BBR's delivery-rate estimator *)
-  delivered_now : int;  (** cumulative bytes delivered including this packet *)
-  inflight : int;  (** bytes in flight after processing this ACK *)
-  app_limited : bool;  (** sender was application-limited for this sample *)
-  ecn_ce : bool;  (** the acked packet carried a congestion-experienced mark *)
+  mutable delivered_now : int;
+      (** cumulative bytes delivered including this packet *)
+  mutable inflight : int;  (** bytes in flight after processing this ACK *)
+  mutable app_limited : bool;
+      (** sender was application-limited for this sample *)
+  mutable ecn_ce : bool;
+      (** the acked packet carried a congestion-experienced mark *)
 }
 
 (** Information delivered on a loss event. *)
@@ -37,8 +46,13 @@ type loss_info = {
   kind : [ `Dupack | `Timeout ];
 }
 
-(** Information delivered when a packet is sent. *)
-type send_info = { now : float; sent_bytes : int; inflight : int }
+(** Information delivered when a packet is sent.  Same reuse contract
+    as {!ack_info}: valid only for the duration of the [on_send] call. *)
+type send_info = {
+  mutable now : float;
+  mutable sent_bytes : int;
+  mutable inflight : int;
+}
 
 (** A congestion control algorithm instance. *)
 type t = {

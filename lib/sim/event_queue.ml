@@ -1,46 +1,192 @@
-type event = { time : float; seq : int; action : unit -> unit }
+(* Structure-of-arrays binary heap: event times live in an unboxed float
+   array, FIFO tie-break sequence numbers in an int array, and the payload
+   (a [handle]) in a third.  Keeping the three side by side — instead of a
+   heap of {time; seq; action} records — means scheduling a preallocated
+   handle writes three array slots and allocates nothing, which is what
+   makes the simulator's per-packet hot path allocation-free. *)
 
-type t = { heap : event Heap.t; mutable now : float; mutable next_seq : int }
+type handle = {
+  mutable pos : int; (* slot in the heap arrays; [idle] when not queued *)
+  mutable action : unit -> unit;
+}
 
-let compare_event a b =
-  match Float.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
+let idle = -1
 
-let dummy_event = { time = neg_infinity; seq = -1; action = ignore }
+let make_handle f = { pos = idle; action = f }
+let handle f = make_handle f
+let set_action h f = h.action <- f
+
+let dummy_handle = make_handle ignore
+
+type t = {
+  mutable times : float array; (* unboxed *)
+  mutable seqs : int array;
+  mutable slots : handle array;
+  mutable size : int;
+  mutable now : float;
+  mutable next_seq : int;
+}
 
 let create ?(start = 0.) () =
-  { heap = Heap.create ~dummy:dummy_event ~cmp:compare_event (); now = start;
-    next_seq = 0 }
+  { times = [||]; seqs = [||]; slots = [||]; size = 0; now = start; next_seq = 0 }
 
 let now t = t.now
+let pending t = t.size
 
-let schedule t ~at action =
-  if not (Float.is_finite at) then invalid_arg "Event_queue.schedule: non-finite time";
+(* (time, seq) lexicographic order; times are validated finite so plain
+   float comparison is exact. *)
+let less t i j =
+  let ti = t.times.(i) and tj = t.times.(j) in
+  ti < tj || (ti = tj && t.seqs.(i) < t.seqs.(j))
+
+let ensure_room t =
+  let cap = Array.length t.times in
+  if cap = 0 then begin
+    t.times <- Array.make 16 0.;
+    t.seqs <- Array.make 16 0;
+    t.slots <- Array.make 16 dummy_handle
+  end
+  else if t.size = cap then begin
+    let times = Array.make (2 * cap) 0.
+    and seqs = Array.make (2 * cap) 0
+    and slots = Array.make (2 * cap) dummy_handle in
+    Array.blit t.times 0 times 0 t.size;
+    Array.blit t.seqs 0 seqs 0 t.size;
+    Array.blit t.slots 0 slots 0 t.size;
+    t.times <- times;
+    t.seqs <- seqs;
+    t.slots <- slots
+  end
+
+let swap t i j =
+  let ti = t.times.(i) and si = t.seqs.(i) and hi = t.slots.(i) in
+  t.times.(i) <- t.times.(j);
+  t.seqs.(i) <- t.seqs.(j);
+  t.slots.(i) <- t.slots.(j);
+  t.times.(j) <- ti;
+  t.seqs.(j) <- si;
+  t.slots.(j) <- hi;
+  t.slots.(i).pos <- i;
+  t.slots.(j).pos <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t l !smallest then smallest := l;
+  if r < t.size && less t r !smallest then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let validate t at =
+  if not (Float.is_finite at) then
+    invalid_arg "Event_queue.schedule: non-finite time";
   if at < t.now then
     invalid_arg
-      (Printf.sprintf "Event_queue.schedule: time %.9f is before now %.9f" at t.now);
-  Heap.push t.heap { time = at; seq = t.next_seq; action };
-  t.next_seq <- t.next_seq + 1
+      (Printf.sprintf "Event_queue.schedule: time %.9f is before now %.9f" at t.now)
+
+let push t h ~at =
+  ensure_room t;
+  let i = t.size in
+  t.times.(i) <- at;
+  t.seqs.(i) <- t.next_seq;
+  t.slots.(i) <- h;
+  h.pos <- i;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t i
+
+let schedule t ~at action =
+  validate t at;
+  push t (make_handle action) ~at
 
 let schedule_after t ~delay action =
   schedule t ~at:(t.now +. Float.max 0. delay) action
 
-let pending t = Heap.size t.heap
+let schedule_handle t h ~at =
+  validate t at;
+  if h.pos >= 0 then begin
+    (* Already queued: move it.  A fresh sequence number keeps the FIFO
+       tie-break identical to cancelling and scheduling anew. *)
+    let i = h.pos in
+    t.times.(i) <- at;
+    t.seqs.(i) <- t.next_seq;
+    t.next_seq <- t.next_seq + 1;
+    sift_up t i;
+    sift_down t h.pos
+  end
+  else push t h ~at
+
+let cancel t h =
+  if h.pos >= 0 then begin
+    let i = h.pos in
+    h.pos <- idle;
+    t.size <- t.size - 1;
+    if i < t.size then begin
+      let last = t.size in
+      t.times.(i) <- t.times.(last);
+      t.seqs.(i) <- t.seqs.(last);
+      let moved = t.slots.(last) in
+      t.slots.(i) <- moved;
+      moved.pos <- i;
+      t.slots.(last) <- dummy_handle;
+      sift_up t i;
+      sift_down t moved.pos
+    end
+    else t.slots.(i) <- dummy_handle
+  end
+
+let is_scheduled h = h.pos >= 0
+
+let scheduled_time t h = if h.pos >= 0 then t.times.(h.pos) else infinity
+
+let scheduled_at t h = if h.pos >= 0 then Some t.times.(h.pos) else None
+
+let pop_root t =
+  let h = t.slots.(0) in
+  h.pos <- idle;
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    let last = t.size in
+    t.times.(0) <- t.times.(last);
+    t.seqs.(0) <- t.seqs.(last);
+    let moved = t.slots.(last) in
+    t.slots.(0) <- moved;
+    moved.pos <- 0;
+    t.slots.(last) <- dummy_handle;
+    sift_down t 0
+  end
+  else t.slots.(0) <- dummy_handle;
+  h
 
 let step t =
-  match Heap.pop t.heap with
-  | None -> false
-  | Some ev ->
-      t.now <- ev.time;
-      ev.action ();
-      true
+  if t.size = 0 then false
+  else begin
+    (* Skip the write (and the float box it allocates) when consecutive
+       events share a timestamp. *)
+    if t.times.(0) <> t.now then t.now <- t.times.(0);
+    let h = pop_root t in
+    h.action ();
+    true
+  end
 
 let run_until t horizon =
   let rec loop () =
-    match Heap.peek t.heap with
-    | Some ev when ev.time <= horizon ->
-        ignore (step t);
-        loop ()
-    | _ -> t.now <- Float.max t.now horizon
+    if t.size > 0 && t.times.(0) <= horizon then begin
+      ignore (step t);
+      loop ()
+    end
+    else t.now <- Float.max t.now horizon
   in
   loop ()
 

@@ -1,9 +1,20 @@
 (** Deterministic discrete-event scheduler.
 
-    Events are thunks ordered by (time, insertion sequence).  The sequence
+    Events are ordered by (time, insertion sequence).  The sequence
     tiebreak makes simultaneous events run in scheduling order, which keeps
     every simulation fully deterministic — a requirement for the paper's
-    Theorem 1 construction, where a flow's trajectory must replay exactly. *)
+    Theorem 1 construction, where a flow's trajectory must replay exactly.
+
+    Two scheduling interfaces share one heap:
+
+    - {!schedule} takes a fresh thunk per event — convenient, but each call
+      allocates, which adds up to several heap words per simulated packet.
+    - {!schedule_handle} re-arms a preallocated {!handle} whose callback was
+      installed once.  The heap stores times in an unboxed float array, so
+      re-arming a handle allocates nothing; handles are also cancellable and
+      reschedulable, so superseded timers no longer pile dead closures into
+      the heap.  This is the hot path used by {!Link}, {!Flow} and
+      {!Delay_line}. *)
 
 type t
 
@@ -34,3 +45,36 @@ val run_until : t -> float -> unit
 
 val run : t -> unit
 (** Run until the queue is empty.  Diverges if events keep rescheduling. *)
+
+(** {2 Allocation-free handles} *)
+
+type handle
+(** A reusable event slot: one callback, at most one queued occurrence.
+    A handle belongs to at most one queue at a time. *)
+
+val handle : (unit -> unit) -> handle
+(** Fresh idle handle with the given callback. *)
+
+val set_action : handle -> (unit -> unit) -> unit
+(** Replace the callback — used to tie knots where the callback must
+    capture a record that itself stores the handle.  Must not be called
+    while the handle is queued. *)
+
+val schedule_handle : t -> handle -> at:float -> unit
+(** Arm the handle at absolute time [at].  If it is already queued it is
+    {e moved} to [at] with a fresh sequence number (exactly as if it had
+    been cancelled and re-armed); otherwise it is inserted.  Allocates
+    nothing.
+    @raise Invalid_argument if [at] is in the past or not finite. *)
+
+val cancel : t -> handle -> unit
+(** Remove the handle's queued occurrence, if any.  The slot is physically
+    deleted from the heap (not tombstoned), so {!pending} stays honest. *)
+
+val is_scheduled : handle -> bool
+
+val scheduled_time : t -> handle -> float
+(** Time the handle is armed for; [infinity] when idle.  Allocation-free
+    (unlike {!scheduled_at}). *)
+
+val scheduled_at : t -> handle -> float option

@@ -1,4 +1,13 @@
-type sent_record = { sent_at : float; size : int; delivered_at_send : int }
+(* Hot mutable floats live in their own all-float record: OCaml stores
+   such records flat, so assigning a field is an unboxed store instead
+   of a fresh 2-word float box per write (which is what a mutable float
+   field in a mixed record costs). *)
+type hot = {
+  mutable next_send_time : float;
+  mutable last_progress : float; (* last time an ACK arrived or a send began *)
+  mutable srtt : float;
+  mutable rttvar : float;
+}
 
 type t = {
   id : int;
@@ -11,19 +20,29 @@ type t = {
   min_rto : float;
   initial_pacing : float option;
   mutable got_first_ack : bool;
-  outstanding : (int, sent_record) Hashtbl.t;
+  (* Outstanding-segment table: a ring of unboxed arrays indexed by
+     [seq land (cap - 1)].  Live seqs are confined to the window
+     [min_out, next_seq); as long as the window fits in the (power of
+     two) capacity the index mapping is injective, so membership is two
+     array reads and insert/remove allocate nothing.  [out_size.(i) = 0]
+     means the slot is free. *)
+  mutable out_sent : float array; (* send time *)
+  mutable out_size : int array; (* segment bytes; 0 = absent *)
+  mutable out_dats : int array; (* delivered counter at send *)
   mutable next_seq : int;
+  mutable min_out : int; (* no outstanding seq is below this *)
   mutable inflight : int;
   mutable delivered : int;
   mutable lost : int;
   mutable highest_acked : int; (* largest acked seq; -1 initially *)
-  mutable next_send_time : float;
-  mutable send_event_at : float option;
-  mutable timer_event_at : float option;
-  mutable rto_pending : bool;
-  mutable last_progress : float; (* last time an ACK arrived or a send began *)
-  mutable srtt : float;
-  mutable rttvar : float;
+  hot : hot;
+  send_h : Event_queue.handle; (* paced-send wakeup *)
+  timer_h : Event_queue.handle; (* CCA timer *)
+  rto_h : Event_queue.handle; (* retransmission-timeout check *)
+  (* Scratch event records passed to the CCA: one allocation per flow
+     instead of one per ACK / send (see the reuse contract in Cca). *)
+  ack_scratch : Cca.ack_info;
+  send_scratch : Cca.send_info;
   mutable running : bool;
   mutable degraded : int; (* insane CCA outputs clamped *)
   mutable stall_probes : int; (* forced probe segments after a stall *)
@@ -47,7 +66,12 @@ let degraded_count t = t.degraded
 let stall_probes t = t.stall_probes
 
 let outstanding_bytes t =
-  Hashtbl.fold (fun _ r acc -> acc + r.size) t.outstanding 0
+  let mask = Array.length t.out_size - 1 in
+  let acc = ref 0 in
+  for seq = t.min_out to t.next_seq - 1 do
+    acc := !acc + t.out_size.(seq land mask)
+  done;
+  !acc
 
 let inspect_series t =
   (* [inspect_keys] is newest-first; report in insertion order. *)
@@ -61,7 +85,30 @@ let now t = Event_queue.now t.eq
 let stopped t =
   match t.stop_time with Some st -> now t >= st | None -> false
 
-let rto t = Float.max t.min_rto (t.srtt +. (4. *. t.rttvar))
+let rto t = Float.max t.min_rto (t.hot.srtt +. (4. *. t.hot.rttvar))
+
+(* --- Outstanding-segment ring ------------------------------------------- *)
+
+(* Double the ring so the live window [min_out, next_seq] fits, moving
+   every live slot to its index under the new mask. *)
+let grow_outstanding t =
+  let old_mask = Array.length t.out_size - 1 in
+  let cap = 2 * Array.length t.out_size in
+  let sent = Array.make cap 0. in
+  let size = Array.make cap 0 in
+  let dats = Array.make cap 0 in
+  for seq = t.min_out to t.next_seq - 1 do
+    let i = seq land old_mask in
+    if t.out_size.(i) > 0 then begin
+      let j = seq land (cap - 1) in
+      sent.(j) <- t.out_sent.(i);
+      size.(j) <- t.out_size.(i);
+      dats.(j) <- t.out_dats.(i)
+    end
+  done;
+  t.out_sent <- sent;
+  t.out_size <- size;
+  t.out_dats <- dats
 
 (* --- CCA output sanitization -------------------------------------------- *)
 
@@ -88,21 +135,20 @@ let effective_pacing t =
 
 (* --- CCA timer plumbing ------------------------------------------------- *)
 
+(* All three flow timers are preallocated cancellable handles: re-arming
+   one writes three heap-array slots and allocates nothing, and a
+   superseded deadline moves the existing entry instead of abandoning a
+   dead closure in the heap. *)
+
 let rec sync_timer t =
   match t.cca.Cca.next_timer () with
   | None -> ()
   | Some want ->
       let want = Float.max want (now t) in
-      let already = match t.timer_event_at with Some at -> at <= want | None -> false in
-      if not already then begin
-        t.timer_event_at <- Some want;
-        Event_queue.schedule t.eq ~at:want (fun () -> fire_timer t want)
-      end
+      if not (Event_queue.scheduled_time t.eq t.timer_h <= want) then
+        Event_queue.schedule_handle t.eq t.timer_h ~at:want
 
-and fire_timer t scheduled_at =
-  (match t.timer_event_at with
-  | Some at when at = scheduled_at -> t.timer_event_at <- None
-  | _ -> ());
+and fire_timer t =
   let rec drain guard =
     if guard = 0 then failwith (t.cca.Cca.name ^ ": timer does not advance");
     match t.cca.Cca.next_timer () with
@@ -119,10 +165,11 @@ and fire_timer t scheduled_at =
 
 and send_packet t =
   let time = now t in
+  let seq = t.next_seq in
   let pkt =
     {
       Packet.flow = t.id;
-      seq = t.next_seq;
+      seq;
       size = t.mss;
       sent_at = time;
       delivered_at_send = t.delivered;
@@ -130,12 +177,19 @@ and send_packet t =
       ce = false;
     }
   in
-  t.next_seq <- t.next_seq + 1;
-  Hashtbl.replace t.outstanding pkt.Packet.seq
-    { sent_at = time; size = t.mss; delivered_at_send = t.delivered };
+  t.next_seq <- seq + 1;
+  if t.next_seq - t.min_out > Array.length t.out_size then grow_outstanding t;
+  let i = seq land (Array.length t.out_size - 1) in
+  t.out_sent.(i) <- time;
+  t.out_size.(i) <- t.mss;
+  t.out_dats.(i) <- t.delivered;
   t.inflight <- t.inflight + t.mss;
-  t.last_progress <- time;
-  t.cca.Cca.on_send { Cca.now = time; sent_bytes = t.mss; inflight = t.inflight };
+  t.hot.last_progress <- time;
+  let sc = t.send_scratch in
+  sc.Cca.now <- time;
+  sc.Cca.sent_bytes <- t.mss;
+  sc.Cca.inflight <- t.inflight;
+  t.cca.Cca.on_send sc;
   t.transmit pkt;
   schedule_rto t
 
@@ -144,55 +198,58 @@ and maybe_send t =
     let cwnd = effective_cwnd t in
     if float_of_int t.inflight +. float_of_int t.mss <= cwnd +. 1e-6 then begin
       let time = now t in
-      if t.next_send_time <= time +. 1e-12 then begin
+      if t.hot.next_send_time <= time +. 1e-12 then begin
         send_packet t;
         let pacing = effective_pacing t in
         (match pacing with
         | Some r when r > 0. ->
-            t.next_send_time <- Float.max time t.next_send_time +. (float_of_int t.mss /. r)
-        | Some _ | None -> t.next_send_time <- time);
+            t.hot.next_send_time <-
+              Float.max time t.hot.next_send_time +. (float_of_int t.mss /. r)
+        | Some _ | None -> t.hot.next_send_time <- time);
         maybe_send t
       end
-      else begin
-        let already =
-          match t.send_event_at with Some at -> at <= t.next_send_time | None -> false
-        in
-        if not already then begin
-          t.send_event_at <- Some t.next_send_time;
-          Event_queue.schedule t.eq ~at:t.next_send_time (fun () ->
-              t.send_event_at <- None;
-              maybe_send t)
-        end
-      end
+      else if
+        not (Event_queue.scheduled_time t.eq t.send_h <= t.hot.next_send_time)
+      then Event_queue.schedule_handle t.eq t.send_h ~at:t.hot.next_send_time
     end
   end
 
 (* --- Retransmission timeout -------------------------------------------- *)
 
 and schedule_rto t =
-  if not t.rto_pending then begin
-    t.rto_pending <- true;
-    let deadline = Float.max (t.last_progress +. rto t) (now t +. 1e-6) in
-    Event_queue.schedule t.eq ~at:deadline (fun () -> check_rto t)
+  if not (Event_queue.is_scheduled t.rto_h) then begin
+    let deadline = Float.max (t.hot.last_progress +. rto t) (now t +. 1e-6) in
+    Event_queue.schedule_handle t.eq t.rto_h ~at:deadline
   end
 
 and check_rto t =
-  t.rto_pending <- false;
   let active = t.running && not (stopped t) in
   if t.inflight > 0 || active then begin
-    if now t -. t.last_progress >= rto t -. 1e-9 then begin
+    if now t -. t.hot.last_progress >= rto t -. 1e-9 then begin
       if t.inflight > 0 then begin
         (* Timeout: declare everything outstanding lost. *)
         let lost_bytes = t.inflight in
-        let lost_packets =
-          Hashtbl.fold (fun _ r acc -> (r.sent_at, r.size) :: acc) t.outstanding []
-        in
-        Hashtbl.reset t.outstanding;
+        let mask = Array.length t.out_size - 1 in
+        let lost_packets = ref [] in
+        for seq = t.min_out to t.next_seq - 1 do
+          let i = seq land mask in
+          if t.out_size.(i) > 0 then begin
+            lost_packets := (t.out_sent.(i), t.out_size.(i)) :: !lost_packets;
+            t.out_size.(i) <- 0
+          end
+        done;
+        t.min_out <- t.next_seq;
         t.inflight <- 0;
         t.lost <- t.lost + lost_bytes;
-        t.last_progress <- now t;
+        t.hot.last_progress <- now t;
         t.cca.Cca.on_loss
-          { Cca.now = now t; lost_bytes; lost_packets; inflight = 0; kind = `Timeout };
+          {
+            Cca.now = now t;
+            lost_bytes;
+            lost_packets = !lost_packets;
+            inflight = 0;
+            kind = `Timeout;
+          };
         sync_timer t
       end;
       maybe_send t;
@@ -204,7 +261,7 @@ and check_rto t =
            next timeout) can restart the control loop instead of
            deadlocking the flow. *)
         t.stall_probes <- t.stall_probes + 1;
-        t.next_send_time <- now t;
+        t.hot.next_send_time <- now t;
         send_packet t
       end
     end;
@@ -240,19 +297,38 @@ let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
       min_rto;
       initial_pacing;
       got_first_ack = false;
-      outstanding = Hashtbl.create 1024;
+      out_sent = Array.make 1024 0.;
+      out_size = Array.make 1024 0;
+      out_dats = Array.make 1024 0;
       next_seq = 0;
+      min_out = 0;
       inflight = 0;
       delivered = 0;
       lost = 0;
       highest_acked = -1;
-      next_send_time = 0.;
-      send_event_at = None;
-      timer_event_at = None;
-      rto_pending = false;
-      last_progress = start_time;
-      srtt = 0.;
-      rttvar = 0.;
+      hot =
+        {
+          next_send_time = 0.;
+          last_progress = start_time;
+          srtt = 0.;
+          rttvar = 0.;
+        };
+      send_h = Event_queue.handle ignore;
+      timer_h = Event_queue.handle ignore;
+      rto_h = Event_queue.handle ignore;
+      ack_scratch =
+        {
+          Cca.now = 0.;
+          rtt = 0.;
+          acked_bytes = 0;
+          sent_time = 0.;
+          delivered = 0;
+          delivered_now = 0;
+          inflight = 0;
+          app_limited = false;
+          ecn_ce = false;
+        };
+      send_scratch = { Cca.now = 0.; sent_bytes = 0; inflight = 0 };
       running = false;
       degraded = 0;
       stall_probes = 0;
@@ -263,9 +339,12 @@ let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
       inspect_keys = [];
     }
   in
+  Event_queue.set_action t.send_h (fun () -> maybe_send t);
+  Event_queue.set_action t.timer_h (fun () -> fire_timer t);
+  Event_queue.set_action t.rto_h (fun () -> check_rto t);
   Event_queue.schedule eq ~at:start_time (fun () ->
       t.running <- true;
-      t.next_send_time <- start_time;
+      t.hot.next_send_time <- start_time;
       maybe_send t;
       (* Watchdog: if the CCA refused the very first send, the stall
          probe in [check_rto] gets the flow moving after one RTO. *)
@@ -281,38 +360,36 @@ let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
   | Some _ | None -> ());
   t
 
-let update_rtt_estimate t sample =
-  if t.srtt = 0. then begin
-    t.srtt <- sample;
-    t.rttvar <- sample /. 2.
-  end
-  else begin
-    t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. sample));
-    t.srtt <- (0.875 *. t.srtt) +. (0.125 *. sample)
-  end
+(* Advance the lower bound on outstanding sequence numbers past every
+   acked / lost hole.  Each seq is crossed at most once over the flow's
+   lifetime, so the amortized cost is O(1) per packet. *)
+let advance_min_out t =
+  let mask = Array.length t.out_size - 1 in
+  while t.min_out < t.next_seq && t.out_size.(t.min_out land mask) = 0 do
+    t.min_out <- t.min_out + 1
+  done
 
 let detect_losses t =
   (* Packet-threshold loss detection: anything sent more than
      [dupack_threshold] packets before the highest acked packet and still
-     outstanding is treated as lost. *)
+     outstanding is treated as lost.  [min_out] makes the common no-loss
+     case O(1): when every outstanding seq is at or above the threshold
+     there is nothing to scan. *)
   let threshold = t.highest_acked - dupack_threshold in
-  let lost_seqs =
-    Hashtbl.fold (fun seq _ acc -> if seq < threshold then seq :: acc else acc)
-      t.outstanding []
-  in
-  match lost_seqs with
-  | [] -> ()
-  | seqs ->
-      let bytes = ref 0 and lost_packets = ref [] in
-      List.iter
-        (fun seq ->
-          match Hashtbl.find_opt t.outstanding seq with
-          | Some r ->
-              Hashtbl.remove t.outstanding seq;
-              bytes := !bytes + r.size;
-              lost_packets := (r.sent_at, r.size) :: !lost_packets
-          | None -> ())
-        seqs;
+  if t.min_out < threshold then begin
+    let mask = Array.length t.out_size - 1 in
+    let hi = min threshold t.next_seq in
+    let bytes = ref 0 and lost_packets = ref [] in
+    for seq = t.min_out to hi - 1 do
+      let i = seq land mask in
+      if t.out_size.(i) > 0 then begin
+        bytes := !bytes + t.out_size.(i);
+        lost_packets := (t.out_sent.(i), t.out_size.(i)) :: !lost_packets;
+        t.out_size.(i) <- 0
+      end
+    done;
+    if !bytes > 0 then begin
+      advance_min_out t;
       t.inflight <- t.inflight - !bytes;
       t.lost <- t.lost + !bytes;
       t.cca.Cca.on_loss
@@ -323,12 +400,65 @@ let detect_losses t =
           inflight = t.inflight;
           kind = `Dupack;
         }
+    end
+    else t.min_out <- hi (* everything below the threshold was a hole *)
+  end
+
+(* Shared tail of ACK processing, after the outstanding-table accounting:
+   [newest] is the acked packet with the latest send time. *)
+let finish_ack t ~(newest : Packet.t) ~acked_bytes ~any_ce =
+  let time = now t in
+  t.got_first_ack <- true;
+  t.delivered <- t.delivered + acked_bytes;
+  t.hot.last_progress <- time;
+  let rtt = time -. newest.Packet.sent_at in
+  (* RFC 6298 smoothing, inlined so the samples stay unboxed. *)
+  let h = t.hot in
+  if h.srtt = 0. then begin
+    h.srtt <- rtt;
+    h.rttvar <- rtt /. 2.
+  end
+  else begin
+    h.rttvar <- (0.75 *. h.rttvar) +. (0.25 *. Float.abs (h.srtt -. rtt));
+    h.srtt <- (0.875 *. h.srtt) +. (0.125 *. rtt)
+  end;
+  let a = t.ack_scratch in
+  a.Cca.now <- time;
+  a.Cca.rtt <- rtt;
+  a.Cca.acked_bytes <- acked_bytes;
+  a.Cca.sent_time <- newest.Packet.sent_at;
+  a.Cca.delivered <- newest.Packet.delivered_at_send;
+  a.Cca.delivered_now <- t.delivered;
+  a.Cca.inflight <- t.inflight;
+  a.Cca.app_limited <- newest.Packet.app_limited;
+  a.Cca.ecn_ce <- any_ce;
+  t.cca.Cca.on_ack a;
+  Series.add t.rtt_series ~time rtt;
+  Series.add t.cwnd_series ~time (t.cca.Cca.cwnd ());
+  Series.add t.delivered_series ~time (float_of_int t.delivered);
+  detect_losses t;
+  sync_timer t;
+  maybe_send t;
+  (* If this ACK emptied the pipe and the CCA still refuses to send
+     (window below one segment), keep the RTO chain alive so the stall
+     probe can recover the flow. *)
+  if t.inflight = 0 && t.running && not (stopped t) then schedule_rto t
+
+(* Look up and clear seq's outstanding entry; return its size, or 0 if
+   the seq was already declared lost (a late ACK to ignore). *)
+let take_outstanding t seq =
+  if seq < t.min_out || seq >= t.next_seq then 0
+  else begin
+    let i = seq land (Array.length t.out_size - 1) in
+    let size = t.out_size.(i) in
+    if size > 0 then t.out_size.(i) <- 0;
+    size
+  end
 
 let receive_ack t (deliveries : Packet.delivery list) =
   match deliveries with
   | [] -> ()
   | _ ->
-      let time = now t in
       let newest =
         List.fold_left
           (fun acc (d : Packet.delivery) ->
@@ -340,46 +470,30 @@ let receive_ack t (deliveries : Packet.delivery list) =
       List.iter
         (fun (d : Packet.delivery) ->
           let p = d.Packet.packet in
-          match Hashtbl.find_opt t.outstanding p.Packet.seq with
-          | Some r ->
-              Hashtbl.remove t.outstanding p.Packet.seq;
-              t.inflight <- t.inflight - r.size;
-              acked_bytes := !acked_bytes + r.size;
-              if p.Packet.ce then any_ce := true;
-              if p.Packet.seq > t.highest_acked then t.highest_acked <- p.Packet.seq
-          | None -> (* already declared lost; ignore the late ACK *) ())
+          let size = take_outstanding t p.Packet.seq in
+          if size > 0 then begin
+            t.inflight <- t.inflight - size;
+            acked_bytes := !acked_bytes + size;
+            if p.Packet.ce then any_ce := true;
+            if p.Packet.seq > t.highest_acked then t.highest_acked <- p.Packet.seq
+          end)
         deliveries;
       if !acked_bytes > 0 then begin
-        t.got_first_ack <- true;
-        t.delivered <- t.delivered + !acked_bytes;
-        t.last_progress <- time;
-        let rtt = time -. newest.Packet.sent_at in
-        update_rtt_estimate t rtt;
-        let info =
-          {
-            Cca.now = time;
-            rtt;
-            acked_bytes = !acked_bytes;
-            sent_time = newest.Packet.sent_at;
-            delivered = newest.Packet.delivered_at_send;
-            delivered_now = t.delivered;
-            inflight = t.inflight;
-            app_limited = newest.Packet.app_limited;
-            ecn_ce = !any_ce;
-          }
-        in
-        t.cca.Cca.on_ack info;
-        Series.add t.rtt_series ~time rtt;
-        Series.add t.cwnd_series ~time (t.cca.Cca.cwnd ());
-        Series.add t.delivered_series ~time (float_of_int t.delivered);
-        detect_losses t;
-        sync_timer t;
-        maybe_send t;
-        (* If this ACK emptied the pipe and the CCA still refuses to
-           send (window below one segment), keep the RTO chain alive so
-           the stall probe can recover the flow. *)
-        if t.inflight = 0 && t.running && not (stopped t) then schedule_rto t
+        advance_min_out t;
+        finish_ack t ~newest ~acked_bytes:!acked_bytes ~any_ce:!any_ce
       end
+
+(* Single-packet ACK: the immediate-ACK hot path.  Equivalent to
+   [receive_ack t [ { packet; delivered_at = _ } ]] but with no delivery
+   record, list, or fold. *)
+let receive_ack_one t (p : Packet.t) =
+  let size = take_outstanding t p.Packet.seq in
+  if size > 0 then begin
+    t.inflight <- t.inflight - size;
+    if p.Packet.seq > t.highest_acked then t.highest_acked <- p.Packet.seq;
+    advance_min_out t;
+    finish_ack t ~newest:p ~acked_bytes:size ~any_ce:p.Packet.ce
+  end
 
 let throughput t ~t0 ~t1 =
   if t1 <= t0 then 0.

@@ -47,6 +47,12 @@ val receive_ack : t -> Packet.delivery list -> unit
     the CCA sees a single [on_ack] whose [acked_bytes] covers the batch and
     whose RTT is sampled from the newest packet. *)
 
+val receive_ack_one : t -> Packet.t -> unit
+(** ACK a single packet at the current simulation time.  Behaviorally
+    identical to [receive_ack t [ { packet; delivered_at } ]] (the
+    delivery time is not consulted) but allocation-free — the hot path for
+    immediate-ACK flows. *)
+
 val delivered_bytes : t -> int
 (** Cumulative bytes acknowledged. *)
 

@@ -7,11 +7,16 @@ type policy =
   | Trace of (float -> float)
   | Controller of (request -> float)
 
+(* All-float box: assigning the field is an unboxed store, unlike a
+   mutable float field in the mixed record below (2 words per write —
+   [last_release] is written once per packet on the hot path). *)
+type fbox = { mutable v : float }
+
 type t = {
   policy : policy;
   bound : float;
   rng : Rng.t;
-  mutable last_release : float;
+  last_release : fbox;
   mutable violations : int;
   mutable max_requested : float;
   mutable worst_excess : float;
@@ -31,22 +36,21 @@ let create ?(bound = infinity) ~rng policy =
     policy;
     bound;
     rng;
-    last_release = neg_infinity;
+    last_release = { v = neg_infinity };
     violations = 0;
     max_requested = 0.;
     worst_excess = 0.;
   }
 
-let raw_delay t req =
-  match t.policy with
-  | No_jitter -> 0.
-  | Constant d -> d
-  | Uniform { lo; hi } -> Rng.uniform t.rng ~lo ~hi
-  | Trace f -> f req.arrival
-  | Controller f -> f req
-
-let release_time t req =
-  let d = raw_delay t req in
+let release_at t ~flow ~arrival ~sent =
+  let d =
+    match t.policy with
+    | No_jitter -> 0.
+    | Constant d -> d
+    | Uniform { lo; hi } -> Rng.uniform t.rng ~lo ~hi
+    | Trace f -> f arrival
+    | Controller f -> f { flow; arrival; sent }
+  in
   if d > t.max_requested then t.max_requested <- d;
   let clamped = Float.max 0. (Float.min d t.bound) in
   if d < -1e-9 || d > t.bound +. 1e-9 then begin
@@ -54,9 +58,11 @@ let release_time t req =
     let excess = Float.max (-.d) (d -. t.bound) in
     if excess > t.worst_excess then t.worst_excess <- excess
   end;
-  let release = Float.max (req.arrival +. clamped) t.last_release in
-  t.last_release <- release;
+  let release = Float.max (arrival +. clamped) t.last_release.v in
+  t.last_release.v <- release;
   release
+
+let release_time t req = release_at t ~flow:req.flow ~arrival:req.arrival ~sent:req.sent
 
 let bound t = t.bound
 let violations t = t.violations

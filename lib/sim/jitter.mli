@@ -42,7 +42,14 @@ val create : ?bound:float -> rng:Rng.t -> policy -> t
 
 val release_time : t -> request -> float
 (** Time at which the packet leaves the element: arrival + clamped policy
-    delay, pushed forward if needed so that releases never reorder. *)
+    delay, pushed forward if needed so that releases never reorder.  The
+    forward push means successive release times are always monotone
+    non-decreasing — the property {!Delay_line} relies on. *)
+
+val release_at : t -> flow:int -> arrival:float -> sent:float -> float
+(** Same as {!release_time} but taking the request fields as plain
+    arguments: the hot path's variant, which only materializes a
+    {!request} record for the [Controller] policy. *)
 
 val bound : t -> float
 

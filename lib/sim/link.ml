@@ -80,10 +80,42 @@ let transmit_end spec ~start ~bytes =
       let rec first_after i = if i < n && fst segs.(i) <= start then first_after (i + 1) else i in
       go (first_after 0) start bytes
 
-(* Scheduler internals: one shared FIFO, or per-flow queues served
-   deficit-round-robin. *)
+let mean_rate spec ~t0 ~t1 =
+  if t1 <= t0 then rate_at spec t0
+  else
+    match spec with
+    | Constant r -> r
+    | Opportunities _ -> rate_at spec 0.
+    | Piecewise segs ->
+        (* Exact integral of the step function over [t0, t1], divided by
+           the window — no sampling error. *)
+        let n = Array.length segs in
+        if n = 0 then invalid_arg "Link.mean_rate: empty piecewise rate";
+        let rec first_after i =
+          if i < n && fst segs.(i) <= t0 then first_after (i + 1) else i
+        in
+        let acc = ref 0. and cursor = ref t0 and v = ref (rate_at spec t0) in
+        let i = ref (first_after 0) in
+        while !i < n && fst segs.(!i) < t1 do
+          acc := !acc +. (!v *. (fst segs.(!i) -. !cursor));
+          cursor := fst segs.(!i);
+          v := snd segs.(!i);
+          incr i
+        done;
+        (!acc +. (!v *. (t1 -. !cursor))) /. (t1 -. t0)
+
+(* Scheduler internals: one shared FIFO (a growable ring of packets with a
+   parallel unboxed array of enqueue times — no per-packet tuple or queue
+   cell), or per-flow queues served deficit-round-robin. *)
+type fifo = {
+  mutable pkts : Packet.t array;
+  mutable enq : float array;
+  mutable head : int;
+  mutable len : int;
+}
+
 type sched =
-  | Sfifo of (Packet.t * float) Queue.t
+  | Sfifo of fifo
   | Sdrr of {
       queues : (int, (Packet.t * float) Queue.t) Hashtbl.t;
       round : int Queue.t; (* flows with backlog, in round order *)
@@ -92,8 +124,35 @@ type sched =
       quantum : int;
     }
 
+let fifo_grow f =
+  let cap = Array.length f.pkts in
+  if cap = 0 then begin
+    f.pkts <- Array.make 64 Packet.dummy;
+    f.enq <- Array.make 64 0.
+  end
+  else begin
+    let pkts = Array.make (2 * cap) Packet.dummy and enq = Array.make (2 * cap) 0. in
+    let tail_run = min f.len (cap - f.head) in
+    Array.blit f.pkts f.head pkts 0 tail_run;
+    Array.blit f.enq f.head enq 0 tail_run;
+    Array.blit f.pkts 0 pkts tail_run (f.len - tail_run);
+    Array.blit f.enq 0 enq tail_run (f.len - tail_run);
+    f.pkts <- pkts;
+    f.enq <- enq;
+    f.head <- 0
+  end
+
+let fifo_push f pkt time =
+  if f.len = Array.length f.pkts then fifo_grow f;
+  let cap = Array.length f.pkts in
+  let tail = f.head + f.len in
+  let tail = if tail >= cap then tail - cap else tail in
+  f.pkts.(tail) <- pkt;
+  f.enq.(tail) <- time;
+  f.len <- f.len + 1
+
 let sched_of_discipline = function
-  | Fifo -> Sfifo (Queue.create ())
+  | Fifo -> Sfifo { pkts = [||]; enq = [||]; head = 0; len = 0 }
   | Drr { quantum } ->
       if quantum <= 0 then invalid_arg "Link: DRR quantum must be positive";
       Sdrr
@@ -107,7 +166,7 @@ let sched_of_discipline = function
 
 let sched_push sched pkt enq_time =
   match sched with
-  | Sfifo q -> Queue.push (pkt, enq_time) q
+  | Sfifo f -> fifo_push f pkt enq_time
   | Sdrr d ->
       let f = pkt.Packet.flow in
       let q =
@@ -124,9 +183,11 @@ let sched_push sched pkt enq_time =
         Queue.push f d.round
       end
 
-let rec sched_pop sched =
+(* DRR pop keeps the tuple representation: per-flow isolation is not the
+   hot path.  The FIFO pop below is tuple-free. *)
+let rec sched_pop_drr sched =
   match sched with
-  | Sfifo q -> Queue.take_opt q
+  | Sfifo _ -> assert false
   | Sdrr d -> begin
       match Queue.peek_opt d.round with
       | None -> None
@@ -136,7 +197,7 @@ let rec sched_pop sched =
             ignore (Queue.pop d.round);
             Hashtbl.remove d.in_round f;
             Hashtbl.replace d.deficits f 0;
-            sched_pop sched
+            sched_pop_drr sched
           end
           else begin
             let pkt, _ = Queue.peek q in
@@ -152,7 +213,7 @@ let rec sched_pop sched =
               Hashtbl.replace d.deficits f (deficit + d.quantum);
               ignore (Queue.pop d.round);
               Queue.push f d.round;
-              sched_pop sched
+              sched_pop_drr sched
             end
           end
         end
@@ -224,6 +285,10 @@ let cellular_trace ~rng ~period ?(bytes = 1500) ~mean_rate ~burstiness () =
   done;
   Opportunities { times = Array.of_list (List.rev !times); period; bytes }
 
+(* All-float box: assigning the field is an unboxed store, unlike a
+   mutable float field in the mixed record below (2 words per write). *)
+type fbox = { mutable v : float }
+
 type t = {
   eq : Event_queue.t;
   rate : rate;
@@ -233,6 +298,9 @@ type t = {
   mutable on_dequeue : Packet.t -> unit;
   mutable queued_bytes : int;
   mutable busy : bool;
+  mutable in_service : Packet.t; (* valid iff busy; Packet.dummy otherwise *)
+  in_service_enq : fbox;
+  complete : Event_queue.handle; (* one persistent completion event slot *)
   mutable drops : int;
   mutable ce_marks : int;
   mutable offered_bytes : int;
@@ -241,34 +309,6 @@ type t = {
   record_queue : bool;
   queue_series : Series.t;
 }
-
-let create ~eq ~rate ?buffer ?ecn_threshold ?aqm ?(discipline = Fifo) ~record_queue
-    () =
-  let aqm =
-    match (aqm, ecn_threshold) with
-    | Some _, Some _ ->
-        invalid_arg "Link.create: give either ecn_threshold or aqm, not both"
-    | Some a, None -> Some a
-    | None, Some th -> Some (Aqm.threshold ~mark_above:th)
-    | None, None -> None
-  in
-  {
-    eq;
-    rate;
-    buffer;
-    aqm;
-    sched = sched_of_discipline discipline;
-    on_dequeue = (fun _ -> invalid_arg "Link: on_dequeue not set");
-    queued_bytes = 0;
-    busy = false;
-    drops = 0;
-    ce_marks = 0;
-    offered_bytes = 0;
-    dropped_bytes = 0;
-    delivered_bytes = 0;
-    record_queue;
-    queue_series = Series.create ~name:"queue_bytes" ();
-  }
 
 let set_on_dequeue t f = t.on_dequeue <- f
 
@@ -282,36 +322,102 @@ let mark t pkt =
     t.ce_marks <- t.ce_marks + 1
   end
 
+(* Pop the next packet to serve into the [in_service] registers.  Returns
+   false when the scheduler is empty.  The FIFO path reads the ring
+   directly — no tuple or option allocation per packet. *)
+let sched_pop_into t =
+  match t.sched with
+  | Sfifo f ->
+      if f.len = 0 then false
+      else begin
+        t.in_service <- f.pkts.(f.head);
+        t.in_service_enq.v <- f.enq.(f.head);
+        f.pkts.(f.head) <- Packet.dummy;
+        f.head <- (if f.head + 1 = Array.length f.pkts then 0 else f.head + 1);
+        f.len <- f.len - 1;
+        true
+      end
+  | Sdrr _ -> begin
+      match sched_pop_drr t.sched with
+      | None -> false
+      | Some (pkt, enq) ->
+          t.in_service <- pkt;
+          t.in_service_enq.v <- enq;
+          true
+    end
+
+(* Service loop.  One persistent completion callback per link ([complete]
+   handle, armed once per serviced packet): the packet in service and its
+   enqueue time live in mutable registers instead of a fresh closure. *)
 let rec start_service t =
-  if not t.busy then begin
-    match sched_pop t.sched with
-    | None -> ()
-    | Some (served, enqueued_at) ->
-        let now = Event_queue.now t.eq in
-        let finish = transmit_end t.rate ~start:now ~bytes:served.Packet.size in
-        if Float.is_finite finish then begin
-          t.busy <- true;
-          Event_queue.schedule t.eq ~at:finish (fun () ->
-              t.queued_bytes <- t.queued_bytes - served.Packet.size;
-              t.delivered_bytes <- t.delivered_bytes + served.Packet.size;
-              t.busy <- false;
-              let now = Event_queue.now t.eq in
-              (match t.aqm with
-              | Some aqm -> begin
-                  match Aqm.on_dequeue aqm ~now ~sojourn:(now -. enqueued_at) with
-                  | Aqm.Mark -> mark t served
-                  | Aqm.Pass -> ()
-                end
-              | None -> ());
-              record t;
-              t.on_dequeue served;
-              start_service t)
-        end
-        else
-          (* Rate trace carries no more bytes: the link is dead; put the
-             packet back at the head (FIFO) or its flow queue (DRR). *)
-          sched_push t.sched served enqueued_at
-  end
+  if not t.busy then
+    if sched_pop_into t then begin
+      let now = Event_queue.now t.eq in
+      let finish = transmit_end t.rate ~start:now ~bytes:t.in_service.Packet.size in
+      if Float.is_finite finish then begin
+        t.busy <- true;
+        Event_queue.schedule_handle t.eq t.complete ~at:finish
+      end
+      else begin
+        (* Rate trace carries no more bytes: the link is dead; put the
+           packet back on the scheduler. *)
+        sched_push t.sched t.in_service t.in_service_enq.v;
+        t.in_service <- Packet.dummy
+      end
+    end
+
+and on_complete t =
+  let served = t.in_service in
+  t.in_service <- Packet.dummy;
+  t.queued_bytes <- t.queued_bytes - served.Packet.size;
+  t.delivered_bytes <- t.delivered_bytes + served.Packet.size;
+  t.busy <- false;
+  let now = Event_queue.now t.eq in
+  (match t.aqm with
+  | Some aqm -> begin
+      match Aqm.on_dequeue aqm ~now ~sojourn:(now -. t.in_service_enq.v) with
+      | Aqm.Mark -> mark t served
+      | Aqm.Pass -> ()
+    end
+  | None -> ());
+  record t;
+  t.on_dequeue served;
+  start_service t
+
+let create ~eq ~rate ?buffer ?ecn_threshold ?aqm ?(discipline = Fifo) ~record_queue
+    () =
+  let aqm =
+    match (aqm, ecn_threshold) with
+    | Some _, Some _ ->
+        invalid_arg "Link.create: give either ecn_threshold or aqm, not both"
+    | Some a, None -> Some a
+    | None, Some th -> Some (Aqm.threshold ~mark_above:th)
+    | None, None -> None
+  in
+  let t =
+    {
+      eq;
+      rate;
+      buffer;
+      aqm;
+      sched = sched_of_discipline discipline;
+      on_dequeue = (fun _ -> invalid_arg "Link: on_dequeue not set");
+      queued_bytes = 0;
+      busy = false;
+      in_service = Packet.dummy;
+      in_service_enq = { v = 0. };
+      complete = Event_queue.handle ignore;
+      drops = 0;
+      ce_marks = 0;
+      offered_bytes = 0;
+      dropped_bytes = 0;
+      delivered_bytes = 0;
+      record_queue;
+      queue_series = Series.create ~name:"queue_bytes" ();
+    }
+  in
+  Event_queue.set_action t.complete (fun () -> on_complete t);
+  t
 
 let enqueue t pkt =
   t.offered_bytes <- t.offered_bytes + pkt.Packet.size;

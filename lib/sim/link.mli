@@ -35,6 +35,12 @@ val transmit_end : rate -> start:float -> bytes:int -> float
     [Opportunities] this is the first opportunity strictly after [start]
     (each serves one packet regardless of [bytes]). *)
 
+val mean_rate : rate -> t0:float -> t1:float -> float
+(** Time-average of the rate over [t0, t1].  Exact piecewise integral for
+    [Piecewise] (no sampling error); the constant for [Constant]; the
+    trace's whole-period average for [Opportunities] (matching [rate_at]).
+    Falls back to [rate_at t0] when [t1 <= t0]. *)
+
 val load_mahimahi_trace : ?bytes:int -> string -> rate
 (** Parse a Mahimahi [mm-link] trace file: one millisecond timestamp per
     line, each an opportunity to deliver one MTU; the file's last

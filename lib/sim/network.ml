@@ -86,11 +86,22 @@ let config ~rate ?buffer ?ecn_threshold ?aqm ?(discipline = Link.Fifo) ~rm
   { rate; buffer; ecn_threshold; aqm; discipline; rm; flows; t0; duration; seed;
     record_queue; initial_queue_bytes; faults; monitor_period }
 
-(* Per-flow delayed-ACK accumulator. *)
+(* Per-flow delayed-ACK accumulator.  [count] mirrors the length of
+   [held] so the per-delivery policy check is O(1) instead of two
+   [List.length] walks per delivery; [timeout_h] is a preallocated,
+   cancellable timer slot. *)
 type delack_state = {
   mutable held : Packet.delivery list; (* newest first *)
-  mutable generation : int;
+  mutable count : int;
+  timeout_h : Event_queue.handle;
 }
+
+(* Per-flow ACK return path: a delay line of single packets for
+   immediate/aggregate ACKs (no delivery records or lists), or of
+   oldest-first delivery batches for delayed ACKs. *)
+type ack_path =
+  | Fast of Packet.t Delay_line.t
+  | Batched of Packet.delivery list Delay_line.t
 
 type t = {
   cfg : config;
@@ -99,6 +110,8 @@ type t = {
   effective_rate : Link.rate;
   flows : Flow.t array;
   jitters : Jitter.t array;
+  data_lines : Packet.t Delay_line.t array;
+  ack_paths : ack_path array;
   random_losses : int array;
   faults : Fault.t option;
   invariant : Invariant.t option;
@@ -112,6 +125,16 @@ let flows t = t.flows
 let jitters t = t.jitters
 let random_losses t = t.random_losses
 let invariant t = t.invariant
+
+let delay_line_fallbacks t =
+  let acc = ref 0 in
+  Array.iter (fun l -> acc := !acc + Delay_line.fallbacks l) t.data_lines;
+  Array.iter
+    (function
+      | Fast l -> acc := !acc + Delay_line.fallbacks l
+      | Batched l -> acc := !acc + Delay_line.fallbacks l)
+    t.ack_paths;
+  !acc
 
 let fault_data_drops t =
   match t.faults with
@@ -148,17 +171,50 @@ let build cfg =
   in
   let random_losses = Array.make n 0 in
   let flows = Array.make n None in
-  let delacks = Array.map (fun _ -> { held = []; generation = 0 }) specs in
+  let delacks =
+    Array.map
+      (fun _ -> { held = []; count = 0; timeout_h = Event_queue.handle ignore })
+      specs
+  in
   let get_flow i = match flows.(i) with Some f -> f | None -> assert false in
 
-  (* ACK path: policy then jitter then sender. *)
+  (* ACK path: policy then jitter then sender.  Release times out of the
+     jitter element are monotone per flow (it clamps to [last_release]),
+     so each flow needs only one pending event: a delay line. *)
+  let ack_paths =
+    Array.init n (fun i ->
+        match specs.(i).ack_policy with
+        | Immediate | Aggregate _ ->
+            Fast
+              (Delay_line.create ~eq ~dummy:Packet.dummy (fun pkt ->
+                   Flow.receive_ack_one (get_flow i) pkt))
+        | Delayed _ ->
+            Batched
+              (Delay_line.create ~eq ~dummy:[] (fun oldest_first ->
+                   Flow.receive_ack (get_flow i) oldest_first)))
+  in
+  let ack_dropped i ~arrival =
+    match faults with
+    | Some f -> Fault.ack_drop f ~flow:i ~now:arrival
+    | None -> false
+  in
+  (* Single-packet release: the immediate/aggregate hot path.  No
+     delivery record, batch list, closure or per-packet heap entry. *)
+  let release_single i pkt ~arrival =
+    if not (ack_dropped i ~arrival) then begin
+      let release =
+        Jitter.release_at jitters.(i) ~flow:i ~arrival
+          ~sent:pkt.Packet.sent_at
+      in
+      match ack_paths.(i) with
+      | Fast line -> Delay_line.push line ~due:release pkt
+      | Batched _ -> assert false
+    end
+  in
   let release_batch i (batch : Packet.delivery list) ~arrival =
     match batch with
     | [] -> ()
-    | _ when
-        (match faults with
-        | Some f -> Fault.ack_drop f ~flow:i ~now:arrival
-        | None -> false) ->
+    | _ when ack_dropped i ~arrival ->
         (* ACK blackhole: the whole batch vanishes on the return path. *)
         ()
     | _ ->
@@ -168,48 +224,58 @@ let build cfg =
             neg_infinity batch
         in
         let release =
-          Jitter.release_time jitters.(i)
-            { Jitter.flow = i; arrival; sent = newest_sent }
+          Jitter.release_at jitters.(i) ~flow:i ~arrival ~sent:newest_sent
         in
         let oldest_first = List.rev batch in
-        Event_queue.schedule eq ~at:release (fun () ->
-            Flow.receive_ack (get_flow i) oldest_first)
+        (match ack_paths.(i) with
+        | Batched line -> Delay_line.push line ~due:release oldest_first
+        | Fast _ -> assert false)
   in
   let flush_delack i ~arrival =
     let st = delacks.(i) in
-    st.generation <- st.generation + 1;
+    Event_queue.cancel eq st.timeout_h;
     let batch = st.held in
     st.held <- [];
+    st.count <- 0;
     release_batch i batch ~arrival
   in
-  let on_delivery i (d : Packet.delivery) =
+  Array.iteri
+    (fun i st ->
+      Event_queue.set_action st.timeout_h (fun () ->
+          if st.held <> [] then flush_delack i ~arrival:(Event_queue.now eq)))
+    delacks;
+  let on_delivery i pkt ~delivered_at =
     match specs.(i).ack_policy with
-    | Immediate -> release_batch i [ d ] ~arrival:d.Packet.delivered_at
+    | Immediate -> release_single i pkt ~arrival:delivered_at
     | Delayed { count; timeout } ->
         let st = delacks.(i) in
-        st.held <- d :: st.held;
-        if List.length st.held >= count then flush_delack i ~arrival:d.Packet.delivered_at
-        else if List.length st.held = 1 then begin
-          let gen = st.generation in
-          Event_queue.schedule eq ~at:(d.Packet.delivered_at +. timeout) (fun () ->
-              if st.generation = gen && st.held <> [] then
-                flush_delack i ~arrival:(Event_queue.now eq))
-        end
+        st.held <- { Packet.packet = pkt; delivered_at } :: st.held;
+        st.count <- st.count + 1;
+        if st.count >= count then flush_delack i ~arrival:delivered_at
+        else if st.count = 1 then
+          Event_queue.schedule_handle eq st.timeout_h
+            ~at:(delivered_at +. timeout)
     | Aggregate { period } ->
-        let td = d.Packet.delivered_at in
-        let slot = Float.ceil (td /. period -. 1e-9) *. period in
-        release_batch i [ d ] ~arrival:(Float.max slot td)
+        let slot = Float.ceil (delivered_at /. period -. 1e-9) *. period in
+        release_single i pkt ~arrival:(Float.max slot delivered_at)
   in
 
-  (* Data path after the bottleneck: per-flow propagation, then receiver. *)
+  (* Data path after the bottleneck: per-flow propagation, then receiver.
+     The bottleneck is FIFO, so per-flow dequeue times are monotone and
+     [dequeue + prop] is a monotone delivery schedule — one delay line
+     per flow replaces the per-packet propagation events. *)
+  let data_lines =
+    Array.init n (fun i ->
+        Delay_line.create ~eq ~dummy:Packet.dummy (fun pkt ->
+            on_delivery i pkt ~delivered_at:(Event_queue.now eq)))
+  in
+  let props = Array.map (fun spec -> cfg.rm +. spec.extra_rm) specs in
   Link.set_on_dequeue link (fun pkt ->
       let i = pkt.Packet.flow in
-      if i <> phantom_flow_id then begin
-        let prop = cfg.rm +. specs.(i).extra_rm in
-        Event_queue.schedule eq ~at:(Event_queue.now eq +. prop) (fun () ->
-            on_delivery i
-              { Packet.packet = pkt; delivered_at = Event_queue.now eq })
-      end);
+      if i <> phantom_flow_id then
+        Delay_line.push data_lines.(i)
+          ~due:(Event_queue.now eq +. props.(i))
+          pkt);
 
   (* Sender-side transmit hook: random loss, then bursty fault loss,
      then the bottleneck. *)
@@ -363,6 +429,8 @@ let build cfg =
     effective_rate;
     flows;
     jitters;
+    data_lines;
+    ack_paths;
     random_losses;
     faults;
     invariant;
@@ -390,19 +458,7 @@ let utilization t ?(warmup_frac = 0.25) () =
   let total = Array.fold_left ( +. ) 0. xs in
   let t1 = t.cfg.t0 +. t.cfg.duration
   and t0 = t.cfg.t0 +. (warmup_frac *. t.cfg.duration) in
-  let mean_rate =
-    (* Rate with fault blackouts / renegotiations folded in. *)
-    match t.effective_rate with
-    | Link.Constant r -> r
-    | Link.Opportunities _ -> Link.rate_at t.effective_rate 0.
-    | Link.Piecewise _ ->
-        (* Mean of the piecewise rate over the window, via fine sampling. *)
-        let n = 1000 in
-        let acc = ref 0. in
-        for k = 0 to n - 1 do
-          let q = t0 +. ((t1 -. t0) *. (float_of_int k +. 0.5) /. float_of_int n) in
-          acc := !acc +. Link.rate_at t.effective_rate q
-        done;
-        !acc /. float_of_int n
-  in
+  (* Rate with fault blackouts / renegotiations folded in: the exact
+     time-average of the (piecewise-constant) rate over the window. *)
+  let mean_rate = Link.mean_rate t.effective_rate ~t0 ~t1 in
   if mean_rate <= 0. then 0. else total /. mean_rate

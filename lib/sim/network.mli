@@ -99,6 +99,14 @@ val jitters : t -> Jitter.t array
 val random_losses : t -> int array
 (** Packets dropped by the random-loss element, per flow. *)
 
+val delay_line_fallbacks : t -> int
+(** Total packets across all delay lines (data propagation and ACK
+    return paths) that arrived with a non-monotone due time and fell
+    back to a standalone per-packet event.  Expected to be 0 for every
+    built-in jitter policy; a nonzero value means a [Controller] (or
+    future policy) broke monotonicity and the simulator quietly paid
+    the per-packet cost for those packets — results stay correct. *)
+
 val invariant : t -> Invariant.t option
 (** The runtime invariant monitor; [None] unless [monitor_period] was
     given.  Checks run: event-clock monotonicity, link byte conservation

@@ -10,6 +10,17 @@ type t = {
 
 type delivery = { packet : t; delivered_at : float }
 
+let dummy =
+  {
+    flow = -2;
+    seq = -1;
+    size = 0;
+    sent_at = neg_infinity;
+    delivered_at_send = 0;
+    app_limited = false;
+    ce = false;
+  }
+
 let pp ppf p =
   Format.fprintf ppf "pkt[flow=%d seq=%d size=%d sent=%.6f]" p.flow p.seq p.size
     p.sent_at

@@ -20,4 +20,9 @@ type delivery = {
   delivered_at : float;  (** time the packet reached the receiver *)
 }
 
+val dummy : t
+(** Placeholder packet (flow [-2], size 0) for preallocated buffers — ring
+    slots, in-service registers — that need a value of the packet type
+    without pinning a real packet.  Never enters the network. *)
+
 val pp : Format.formatter -> t -> unit

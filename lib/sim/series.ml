@@ -58,29 +58,62 @@ let value_at t q =
   let i = index_at t q in
   if i < 0 then None else Some t.values.(i)
 
+(* Index of the first sample with time >= q, or [t.len]. *)
+let index_from t q =
+  if t.len = 0 || q <= t.times.(0) then 0
+  else if t.times.(t.len - 1) < q then t.len
+  else begin
+    (* Invariant: times.(lo) < q <= times.(hi). *)
+    let lo = ref 0 and hi = ref (t.len - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.times.(mid) < q then lo := mid else hi := mid
+    done;
+    !hi
+  end
+
+(* Inclusive index range of samples with t0 <= time <= t1; empty iff
+   lo > hi.  Both ends located by binary search, so the window queries
+   below are O(log n + k) in the window size k, not O(n). *)
+let window_range t ~t0 ~t1 = (index_from t t0, index_at t t1)
+
 let window t ~t0 ~t1 =
+  let lo, hi = window_range t ~t0 ~t1 in
   let rec build i acc =
-    if i < 0 || t.times.(i) < t0 then acc
-    else
-      build (i - 1)
-        (if t.times.(i) <= t1 then (t.times.(i), t.values.(i)) :: acc else acc)
+    if i < lo then acc else build (i - 1) ((t.times.(i), t.values.(i)) :: acc)
   in
-  build (t.len - 1) []
+  build hi []
 
 let window_values t ~t0 ~t1 =
-  window t ~t0 ~t1 |> List.map snd |> Array.of_list
+  let lo, hi = window_range t ~t0 ~t1 in
+  if lo > hi then [||]
+  else Array.sub t.values lo (hi - lo + 1)
 
 let min_max_in t ~t0 ~t1 =
-  let vs = window_values t ~t0 ~t1 in
-  if Array.length vs = 0 then None
-  else
-    Some
-      ( Array.fold_left Float.min vs.(0) vs,
-        Array.fold_left Float.max vs.(0) vs )
+  let lo, hi = window_range t ~t0 ~t1 in
+  if lo > hi then None
+  else begin
+    let mn = ref t.values.(lo) and mx = ref t.values.(lo) in
+    for i = lo + 1 to hi do
+      mn := Float.min !mn t.values.(i);
+      mx := Float.max !mx t.values.(i)
+    done;
+    Some (!mn, !mx)
+  end
 
 let mean_in t ~t0 ~t1 =
-  let vs = window_values t ~t0 ~t1 in
-  if Array.length vs = 0 then None else Some (Stats.mean vs)
+  let lo, hi = window_range t ~t0 ~t1 in
+  if lo > hi then None
+  else begin
+    (* Same operation order as [Stats.mean] (left-to-right sum starting
+       from 0., then one divide) so results are bitwise identical to the
+       old materialize-then-average path. *)
+    let acc = ref 0. in
+    for i = lo to hi do
+      acc := !acc +. t.values.(i)
+    done;
+    Some (!acc /. float_of_int (hi - lo + 1))
+  end
 
 let integral t ~t0 ~t1 =
   if t1 <= t0 || t.len = 0 then 0.

@@ -28,14 +28,24 @@ val value_at : t -> float -> float option
     query time; [None] before the first sample. *)
 
 val window : t -> t0:float -> t1:float -> (float * float) list
-(** Samples with [t0 <= time <= t1], in order. *)
+(** Samples with [t0 <= time <= t1], in order.
+
+    All four window queries locate both window ends by binary search, so
+    they cost O(log n + k) for a window of k samples — repeated queries
+    over a long run don't rescan the whole series. *)
 
 val window_values : t -> t0:float -> t1:float -> float array
+(** Values of the samples in the window, in time order (a single
+    [Array.sub] of the backing store — no intermediate list). *)
 
 val min_max_in : t -> t0:float -> t1:float -> (float * float) option
-(** Extrema of samples within the window; [None] if no sample falls in it. *)
+(** Extrema of samples within the window; [None] if no sample falls in
+    it.  Folds in place over the backing arrays. *)
 
 val mean_in : t -> t0:float -> t1:float -> float option
+(** Mean of samples within the window; [None] if no sample falls in it.
+    Numerically identical to [Stats.mean (window_values t ~t0 ~t1)]
+    (same left-to-right summation order). *)
 
 val integral : t -> t0:float -> t1:float -> float
 (** Integral of the step function over [t0, t1].  Uses the last sample at or

@@ -1597,6 +1597,212 @@ let prop_network_physical_invariants =
       in
       capacity_ok && inflight_ok && rtt_ok)
 
+(* ------------------------------------------------------------------ *)
+(* Event-queue handles                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_eq_handle_reschedule () =
+  let eq = Sim.Event_queue.create () in
+  let fired = ref [] in
+  let h = Sim.Event_queue.handle (fun () -> fired := "h" :: !fired) in
+  Alcotest.(check bool) "idle" false (Sim.Event_queue.is_scheduled h);
+  Sim.Event_queue.schedule_handle eq h ~at:5.0;
+  Alcotest.(check bool) "scheduled" true (Sim.Event_queue.is_scheduled h);
+  check_float "time" 5.0 (Sim.Event_queue.scheduled_time eq h);
+  (* Moving an armed handle must not duplicate it. *)
+  Sim.Event_queue.schedule_handle eq h ~at:2.0;
+  Alcotest.(check int) "one entry" 1 (Sim.Event_queue.pending eq);
+  Sim.Event_queue.schedule eq ~at:3.0 (fun () -> fired := "x" :: !fired);
+  Sim.Event_queue.run eq;
+  Alcotest.(check (list string)) "moved before x" [ "h"; "x" ] (List.rev !fired);
+  Alcotest.(check bool) "idle after fire" false (Sim.Event_queue.is_scheduled h)
+
+let test_eq_handle_cancel () =
+  let eq = Sim.Event_queue.create () in
+  let fired = ref [] in
+  let h = Sim.Event_queue.handle (fun () -> fired := "h" :: !fired) in
+  Sim.Event_queue.schedule_handle eq h ~at:1.0;
+  Sim.Event_queue.schedule eq ~at:2.0 (fun () -> fired := "x" :: !fired);
+  Sim.Event_queue.cancel eq h;
+  Alcotest.(check bool) "idle after cancel" false (Sim.Event_queue.is_scheduled h);
+  (* Physical deletion: the cancelled entry no longer counts as pending. *)
+  Alcotest.(check int) "pending" 1 (Sim.Event_queue.pending eq);
+  Sim.Event_queue.run eq;
+  Alcotest.(check (list string)) "only x" [ "x" ] (List.rev !fired);
+  check_float "idle scheduled_time" infinity (Sim.Event_queue.scheduled_time eq h)
+
+let test_eq_handle_fifo_ties () =
+  (* A moved handle takes a fresh sequence number, so it ties like a
+     newly scheduled event: after every earlier-scheduled event at the
+     same time. *)
+  let eq = Sim.Event_queue.create () in
+  let fired = ref [] in
+  let h = Sim.Event_queue.handle (fun () -> fired := "h" :: !fired) in
+  Sim.Event_queue.schedule_handle eq h ~at:1.0;
+  Sim.Event_queue.schedule eq ~at:2.0 (fun () -> fired := "a" :: !fired);
+  Sim.Event_queue.schedule_handle eq h ~at:2.0;
+  Sim.Event_queue.schedule eq ~at:2.0 (fun () -> fired := "b" :: !fired);
+  Sim.Event_queue.run eq;
+  Alcotest.(check (list string)) "tie order" [ "a"; "h"; "b" ] (List.rev !fired)
+
+(* ------------------------------------------------------------------ *)
+(* Delay line                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The correctness claim the per-flow delay lines rest on: delivery
+   times and order are exactly those of scheduling every payload as its
+   own event.  Pushes happen at increasing sim times with arbitrary
+   (possibly non-monotone) due offsets, so the fallback path is
+   exercised too.  With a monotone due schedule (fallbacks = 0 — the
+   only regime Network uses, enforced by Jitter's clamp) the match must
+   be exact, ties included.  A fallback event can legitimately order
+   differently against a ring re-arm at the very same timestamp, so
+   with fallbacks > 0 we require the same per-payload delivery times
+   (order within a tie may differ). *)
+let prop_delay_line_matches_naive =
+  QCheck.Test.make
+    ~name:"delay line delivers like naive per-packet scheduling" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 30) (pair (int_range 0 5) (int_range 0 3)))
+    (fun steps ->
+      let run use_line =
+        let eq = Sim.Event_queue.create () in
+        let log = ref [] in
+        let line =
+          Sim.Delay_line.create ~eq ~dummy:(-1) (fun k ->
+              log := (Sim.Event_queue.now eq, k) :: !log)
+        in
+        let t = ref 0. in
+        List.iteri
+          (fun k (offset, gap) ->
+            let push_at = !t in
+            let due = push_at +. (float_of_int offset *. 0.1) in
+            Sim.Event_queue.schedule eq ~at:push_at (fun () ->
+                if use_line then Sim.Delay_line.push line ~due k
+                else
+                  Sim.Event_queue.schedule eq ~at:due (fun () ->
+                      log := (Sim.Event_queue.now eq, k) :: !log));
+            t := !t +. (float_of_int gap *. 0.1))
+          steps;
+        Sim.Event_queue.run eq;
+        (List.rev !log, Sim.Delay_line.fallbacks line)
+      in
+      let line_log, fallbacks = run true in
+      let naive_log, _ = run false in
+      if fallbacks = 0 then line_log = naive_log
+      else List.sort compare line_log = List.sort compare naive_log)
+
+let test_delay_line_fallback_counted () =
+  let eq = Sim.Event_queue.create () in
+  let log = ref [] in
+  let line =
+    Sim.Delay_line.create ~eq ~dummy:(-1) (fun k ->
+        log := (Sim.Event_queue.now eq, k) :: !log)
+  in
+  Sim.Delay_line.push line ~due:5.0 1;
+  (* Non-monotone: would overtake payload 1 inside the ring. *)
+  Sim.Delay_line.push line ~due:3.0 2;
+  Alcotest.(check int) "fallbacks" 1 (Sim.Delay_line.fallbacks line);
+  Alcotest.(check int) "pushes" 2 (Sim.Delay_line.pushes line);
+  Sim.Event_queue.run eq;
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "delivered in time order" [ (3.0, 2); (5.0, 1) ] (List.rev !log)
+
+let test_delay_line_one_pending_event () =
+  let eq = Sim.Event_queue.create () in
+  let line = Sim.Delay_line.create ~eq ~dummy:(-1) (fun _ -> ()) in
+  for k = 0 to 99 do
+    Sim.Delay_line.push line ~due:(float_of_int k) k
+  done;
+  Alcotest.(check int) "queued" 100 (Sim.Delay_line.length line);
+  (* The whole backlog is represented by a single event-queue entry. *)
+  Alcotest.(check int) "one event" 1 (Sim.Event_queue.pending eq);
+  Sim.Event_queue.run eq;
+  Alcotest.(check int) "drained" 0 (Sim.Delay_line.length line)
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path resource envelope                                          *)
+(* ------------------------------------------------------------------ *)
+
+let bdp_reno_config ~nflows =
+  let rate = Sim.Units.mbps 12. in
+  Sim.Network.config ~rate:(Sim.Link.Constant rate)
+    ~buffer:(Sim.Units.bdp_bytes ~rate ~rtt:0.04) ~rm:0.04 ~duration:1.
+    (List.init nflows (fun _ -> Sim.Network.flow (Reno.make ())))
+
+(* With per-flow delay lines and preallocated timer handles, event-queue
+   occupancy is O(flows + link), not O(packets in flight): each flow
+   owns at most a data line + ACK line + 3 timers, the link one
+   completion slot.  The old per-packet scheduler peaked at 44 entries
+   on this exact run. *)
+let test_network_event_queue_peak () =
+  let net = Sim.Network.build (bdp_reno_config ~nflows:2) in
+  let eq = Sim.Network.event_queue net in
+  let peak = ref 0 in
+  while Sim.Event_queue.now eq < 1.0 && Sim.Event_queue.step eq do
+    peak := max !peak (Sim.Event_queue.pending eq)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %d <= 16" !peak)
+    true (!peak <= 16);
+  Alcotest.(check int) "no delay-line fallbacks" 0
+    (Sim.Network.delay_line_fallbacks net)
+
+(* Allocation budget: the 1 s Reno run must stay under 80 minor words
+   per delivered packet (measured ~32-45 after the allocation-light
+   rewrite; the pre-rewrite hot path cost ~166).  Bytecode boxes
+   differently, so the budget only binds on the native backend. *)
+let test_network_minor_words_budget () =
+  match Sys.backend_type with
+  | Sys.Native ->
+      let cfg = bdp_reno_config ~nflows:1 in
+      ignore (Sim.Network.run_config cfg) (* warm up *);
+      let w0 = Gc.minor_words () in
+      let net = Sim.Network.run_config cfg in
+      let minor = Gc.minor_words () -. w0 in
+      let pkts = Sim.Flow.delivered_bytes (Sim.Network.flows net).(0) / 1500 in
+      let per_pkt = minor /. float_of_int pkts in
+      Alcotest.(check bool)
+        (Printf.sprintf "%.1f minor words/packet <= 80 over %d packets" per_pkt
+           pkts)
+        true
+        (pkts > 500 && per_pkt <= 80.)
+  | Sys.Bytecode | Sys.Other _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Series window queries (binary-search rewrite)                       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_series_window_queries_match_naive =
+  QCheck.Test.make
+    ~name:"series window queries match brute force" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 30) (float_range 0. 10.))
+        (pair (float_range (-1.) 11.) (float_range (-1.) 11.)))
+    (fun (vals, (a, b)) ->
+      let s = Sim.Series.create () in
+      List.iteri (fun i v -> Sim.Series.add s ~time:(float_of_int i) v) vals;
+      let t0 = Float.min a b and t1 = Float.max a b in
+      let naive =
+        List.filteri (fun i _ -> float_of_int i >= t0 && float_of_int i <= t1) vals
+      in
+      let got = Array.to_list (Sim.Series.window_values s ~t0 ~t1) in
+      let mean_ok =
+        match (Sim.Series.mean_in s ~t0 ~t1, naive) with
+        | None, [] -> true
+        | Some m, (_ :: _ as l) ->
+            m = List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+        | _ -> false
+      in
+      let minmax_ok =
+        match (Sim.Series.min_max_in s ~t0 ~t1, naive) with
+        | None, [] -> true
+        | Some (mn, mx), (h :: _ as l) ->
+            mn = List.fold_left Float.min h l && mx = List.fold_left Float.max h l
+        | _ -> false
+      in
+      got = naive && mean_ok && minmax_ok)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "sim"
@@ -1623,7 +1829,18 @@ let () =
             test_eq_run_until_excludes_future;
           Alcotest.test_case "schedule_after clamps" `Quick
             test_eq_schedule_after_negative_clamped;
+          Alcotest.test_case "handle reschedule" `Quick test_eq_handle_reschedule;
+          Alcotest.test_case "handle cancel" `Quick test_eq_handle_cancel;
+          Alcotest.test_case "handle fifo ties" `Quick test_eq_handle_fifo_ties;
           qt prop_eq_stable_order;
+        ] );
+      ( "delay_line",
+        [
+          Alcotest.test_case "fallback counted" `Quick
+            test_delay_line_fallback_counted;
+          Alcotest.test_case "one pending event" `Quick
+            test_delay_line_one_pending_event;
+          qt prop_delay_line_matches_naive;
         ] );
       ( "rng",
         [
@@ -1658,6 +1875,7 @@ let () =
           Alcotest.test_case "map" `Quick test_series_map;
           Alcotest.test_case "first last" `Quick test_series_first_last;
           qt prop_series_integral_additive;
+          qt prop_series_window_queries_match_naive;
         ] );
       ( "jitter",
         [
@@ -1761,6 +1979,10 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_network_deterministic;
           Alcotest.test_case "accessor lengths" `Quick test_network_accessor_lengths;
           Alcotest.test_case "start stop" `Quick test_network_flow_start_stop;
+          Alcotest.test_case "event queue stays small" `Quick
+            test_network_event_queue_peak;
+          Alcotest.test_case "minor-words budget" `Quick
+            test_network_minor_words_budget;
           qt prop_network_physical_invariants;
         ] );
     ]
