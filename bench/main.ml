@@ -343,6 +343,73 @@ let write_bench_json path fields =
         fields;
       output_string oc "}\n")
 
+(* Checkpointing overhead: the same canonical Reno run, plain vs paused
+   every [interval] simulated seconds for a full capture (state hash +
+   closure-carrying serialization).  Series recording is off so the
+   snapshot payload reflects live simulator state, not trace length, and
+   best-of-3 timing keeps scheduler noise out of a ratio the CI gate
+   compares against 5%.  The scenario is a fast link with a short RTT
+   (192 Mbit/s, 10 ms, a checkpoint per simulated second): a capture's
+   price scales with the in-flight state it must hash and serialize,
+   the run's with the packets it simulates, so this is the regime where
+   the ratio is a property of the checkpoint machinery rather than of
+   an artificially idle simulation. *)
+let snapshot_interval = 1.0
+
+let snapshot_overhead () =
+  let rate = Sim.Units.mbps 192. in
+  let duration = if quick then 2.0 else 4.0 in
+  let reps = if quick then 4 else 6 in
+  let cfg () =
+    Sim.Network.config ~rate:(Sim.Link.Constant rate)
+      ~buffer:(Sim.Units.bdp_bytes ~rate ~rtt:0.01) ~rm:0.01 ~duration
+      [ Sim.Network.flow ~record_series:false (Reno.make ()) ]
+  in
+  let pkts = ref 0 in
+  let plain () =
+    pkts := 0;
+    for _ = 1 to reps do
+      let net = Sim.Network.run_config (cfg ()) in
+      pkts := !pkts + (Sim.Flow.delivered_bytes (Sim.Network.flows net).(0) / 1500)
+    done
+  in
+  let checkpoints = ref 0 in
+  let snapshotted () =
+    checkpoints := 0;
+    for _ = 1 to reps do
+      let net = Sim.Network.build (cfg ()) in
+      ignore
+        (Sim.Snapshot.run_with_checkpoints ~interval:snapshot_interval
+           ~on_checkpoint:(fun _ -> incr checkpoints)
+           net)
+    done
+  in
+  (* Warm both paths, then time them interleaved from the same GC state:
+     the two loops differ by a few hundred microseconds per run, which
+     back-to-back timing would bury under collector debt accumulated by
+     whichever loop happens to run first. *)
+  plain ();
+  snapshotted ();
+  let t_plain = ref infinity and t_snap = ref infinity in
+  for _ = 1 to 5 do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    plain ();
+    t_plain := Float.min !t_plain (Unix.gettimeofday () -. t0);
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    snapshotted ();
+    t_snap := Float.min !t_snap (Unix.gettimeofday () -. t0)
+  done;
+  let t_plain = !t_plain and t_snap = !t_snap in
+  let pps_plain = float_of_int !pkts /. t_plain in
+  let pps_snap = float_of_int !pkts /. t_snap in
+  let overhead = Float.max 0. ((t_snap /. t_plain) -. 1.) in
+  ( pps_plain,
+    pps_snap,
+    overhead,
+    !checkpoints / reps )
+
 let macro_bench () =
   let cfg = macro_config () in
   (* Warm up: code paths, minor heap sizing, series growth. *)
@@ -378,6 +445,11 @@ let macro_bench () =
     macro_baseline_peak_pending peak_pending;
   Printf.printf "%-34s %25.1f\n" "simulated seconds/sec" sim_sec_per_sec;
   Printf.printf "%-34s %25d\n" "delay-line fallbacks" !fallbacks;
+  let pps_plain, pps_snap, overhead, per_run = snapshot_overhead () in
+  Printf.printf "%-34s %12.0f %12.0f %6.1f%%\n"
+    (Printf.sprintf "checkpoints every %gs: pkts/sec" snapshot_interval)
+    pps_plain pps_snap (overhead *. 100.);
+  Printf.printf "%-34s %25d\n" "checkpoints per run" per_run;
   let json = "BENCH_simulator.json" in
   write_bench_json json
     [
@@ -399,6 +471,11 @@ let macro_bench () =
         string_of_int macro_baseline_peak_pending );
       ("speedup_packets_per_sec", Printf.sprintf "%.3f" speedup);
       ("alloc_reduction_factor", Printf.sprintf "%.3f" alloc_factor);
+      ("snapshot_interval_sim_sec", Printf.sprintf "%g" snapshot_interval);
+      ("snapshot_checkpoints_per_run", string_of_int per_run);
+      ("packets_per_sec_no_snapshots", Printf.sprintf "%.1f" pps_plain);
+      ("packets_per_sec_with_snapshots", Printf.sprintf "%.1f" pps_snap);
+      ("snapshot_overhead_frac", Printf.sprintf "%.4f" overhead);
     ];
   Printf.printf "wrote %s\n" json
 

@@ -5,7 +5,15 @@
    content-addressed cache under --cache-dir makes re-runs of an unchanged
    binary free.  Output on stdout is byte-identical for every -j level and
    for cached re-runs; the pool's counters go to stderr so the streams can
-   be diffed independently. *)
+   be diffed independently.
+
+   When the cache is enabled the matrix runs supervised (Runner.Supervise):
+   each completed job is journaled beside the cache as it lands, so a run
+   killed mid-matrix can be finished with --resume, re-executing only the
+   jobs that had not completed.  --split-run proves checkpoint fidelity by
+   serializing and restoring every simulation at mid-horizon; the output
+   must stay byte-identical.  --selftest-shrink and --replay exercise the
+   failing-scenario minimizer end to end. *)
 
 open Cmdliner
 
@@ -27,7 +35,8 @@ let jobs_arg =
 
 let no_cache_arg =
   Arg.(value & flag & info [ "no-cache" ]
-         ~doc:"Re-simulate everything; neither read nor write the run cache.")
+         ~doc:"Re-simulate everything; neither read nor write the run cache \
+               (also disables the resume journal).")
 
 let cache_dir_arg =
   Arg.(value & opt string "_cache" & info [ "cache-dir" ] ~docv:"DIR"
@@ -36,6 +45,44 @@ let cache_dir_arg =
 let check_arg =
   Arg.(value & flag & info [ "check" ]
          ~doc:"Exit 2 unless every report row holds the paper's shape.")
+
+let resume_arg =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Keep the resume journal from a previous (possibly killed) \
+               run: jobs it records as done with intact cache entries are \
+               replayed, not re-executed.  Without this flag the journal \
+               is cleared at startup.")
+
+let split_run_arg =
+  Arg.(value & flag & info [ "split-run" ]
+         ~doc:"Run every simulation to mid-horizon, serialize, restore, \
+               and finish on the restored copy.  Output must be \
+               byte-identical to a normal run — this is the \
+               checkpoint/restore equivalence proof at suite scale.")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS"
+         ~doc:"Per-attempt wall-clock deadline for each job (forked \
+               workers only).")
+
+let max_attempts_arg =
+  Arg.(value & opt int 3 & info [ "max-attempts" ] ~docv:"N"
+         ~doc:"Supervised attempts per job before it is quarantined.")
+
+let selftest_shrink_arg =
+  Arg.(value & opt (some string) None
+       & info [ "selftest-shrink" ] ~docv:"DIR"
+         ~doc:"Ignore the experiment arguments: run a scenario that \
+               deliberately trips an invariant, auto-shrink it, write the \
+               reproducer and a summary under $(docv), and exit 0 iff the \
+               minimized scenario has at most 2 flows and at most 1 fault \
+               event while still tripping the same check.")
+
+let replay_arg =
+  Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE"
+         ~doc:"Load a reproducer written by --selftest-shrink (or by the \
+               shrinker) and re-run it; exit 0 iff it still trips the \
+               recorded invariant check.")
 
 let select keys all =
   if all || keys = [] then Ok Experiments.Registry.all
@@ -47,30 +94,164 @@ let select keys all =
       Error (Printf.sprintf "unknown experiment(s): %s" (String.concat ", " missing))
     else Ok (List.filter_map Experiments.Registry.find keys)
 
-let main keys all quick jobs no_cache cache_dir check =
-  match select keys all with
-  | Error msg ->
-      prerr_endline ("repro: " ^ msg);
+(* --------------------------------------------------------------------- *)
+(* Shrinker self-test and replay                                          *)
+(* --------------------------------------------------------------------- *)
+
+(* A scenario built to trip exactly one invariant deterministically: flow 0
+   requests jitter up to 0.05 s against a declared bound of 0.02 s, so the
+   monitor's jitter-bound check fires on the first audit after a clamped
+   request.  Flow 1 and the two link faults are decoys the shrinker should
+   strip away. *)
+let selftest_config () =
+  Sim.Network.config
+    ~rate:(Sim.Link.Constant 1_500_000.)
+    ~rm:0.05 ~seed:7 ~monitor_period:0.05 ~duration:4.0
+    ~faults:
+      (Sim.Fault.plan
+         [
+           Sim.Fault.Link_blackout { t0 = 1.0; t1 = 1.2 };
+           Sim.Fault.Rate_step { at = 2.0; rate = 750_000. };
+         ])
+    [
+      Sim.Network.flow
+        ~jitter:(Sim.Jitter.Uniform { lo = 0.; hi = 0.05 })
+        ~jitter_bound:0.02 (Reno.make ());
+      Sim.Network.flow (Reno.make ());
+    ]
+
+let selftest_shrink dir =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let cfg = selftest_config () in
+  let before = Sim.Shrink.trips cfg in
+  (match before with
+  | [] ->
+      prerr_endline "selftest-shrink: scenario unexpectedly clean";
       exit 1
-  | Ok experiments ->
-      let workers = if jobs <= 0 then Runner.Pool.default_workers () else jobs in
-      let cache =
-        if no_cache then None else Some (Runner.Cache.create ~dir:cache_dir ())
+  | tally ->
+      List.iter
+        (fun (check, n) ->
+          Printf.printf "selftest-shrink: initial run trips %s x%d\n" check n)
+        tally);
+  match Sim.Shrink.shrink cfg with
+  | None ->
+      prerr_endline "selftest-shrink: shrinker lost the violation";
+      exit 1
+  | Some r ->
+      let flows = List.length r.Sim.Shrink.config.Sim.Network.flows in
+      let faults =
+        List.length (Sim.Fault.events r.Sim.Shrink.config.Sim.Network.faults)
       in
-      let t0 = Unix.gettimeofday () in
-      let rows, stats =
-        Experiments.Registry.run_selection ~quick ~workers ?cache experiments
+      let repro = Filename.concat dir "reproducer.bin" in
+      Sim.Shrink.write_repro repro r;
+      let summary =
+        Printf.sprintf
+          "{\n\
+          \  \"check\": \"%s\",\n\
+          \  \"flows\": %d,\n\
+          \  \"fault_events\": %d,\n\
+          \  \"duration\": %g,\n\
+          \  \"violations\": %d,\n\
+          \  \"runs\": %d\n\
+           }\n"
+          r.Sim.Shrink.check flows faults
+          r.Sim.Shrink.config.Sim.Network.duration r.Sim.Shrink.violations
+          r.Sim.Shrink.runs
       in
-      let bad = List.filter (fun r -> not r.Experiments.Report.ok) rows in
-      Printf.printf "\n%d/%d checks hold the paper's shape\n"
-        (List.length rows - List.length bad)
-        (List.length rows);
-      Printf.eprintf
-        "runner: %d jobs, %d cache hits, %d executed, %d respawns, %d workers, %.1f s\n"
-        stats.Runner.Pool.jobs stats.Runner.Pool.cache_hits
-        stats.Runner.Pool.executed stats.Runner.Pool.respawns workers
-        (Unix.gettimeofday () -. t0);
-      if check && bad <> [] then exit 2
+      Sim.Snapshot.write_atomic_file (Filename.concat dir "shrink.json") summary;
+      print_endline (Sim.Shrink.describe r);
+      Printf.printf "selftest-shrink: reproducer written to %s\n" repro;
+      let ok =
+        flows <= 2 && faults <= 1
+        && List.mem_assoc r.Sim.Shrink.check before
+      in
+      if not ok then begin
+        Printf.eprintf
+          "selftest-shrink: FAILED (flows=%d faults=%d check=%s)\n" flows
+          faults r.Sim.Shrink.check;
+        exit 1
+      end;
+      print_endline "selftest-shrink: OK"
+
+let replay file =
+  match Sim.Shrink.load_repro file with
+  | exception Sim.Snapshot.Incompatible msg ->
+      Printf.eprintf "replay: cannot load %s: %s\n" file msg;
+      exit 1
+  | r ->
+      let tally = Sim.Shrink.trips r.Sim.Shrink.config in
+      List.iter
+        (fun (check, n) -> Printf.printf "replay: trips %s x%d\n" check n)
+        tally;
+      if List.mem_assoc r.Sim.Shrink.check tally then begin
+        Printf.printf "replay: reproducer still trips %s\n" r.Sim.Shrink.check;
+        exit 0
+      end
+      else begin
+        Printf.eprintf "replay: reproducer no longer trips %s\n"
+          r.Sim.Shrink.check;
+        exit 1
+      end
+
+(* --------------------------------------------------------------------- *)
+(* Main driver                                                            *)
+(* --------------------------------------------------------------------- *)
+
+let main keys all quick jobs no_cache cache_dir check resume split_run
+    deadline max_attempts selftest replay_file =
+  match (selftest, replay_file) with
+  | Some dir, _ -> selftest_shrink dir
+  | None, Some file -> replay file
+  | None, None -> (
+      match select keys all with
+      | Error msg ->
+          prerr_endline ("repro: " ^ msg);
+          exit 1
+      | Ok experiments ->
+          if split_run then Sim.Network.set_split_run true;
+          let workers =
+            if jobs <= 0 then Runner.Pool.default_workers () else jobs
+          in
+          let cache =
+            if no_cache then None
+            else Some (Runner.Cache.create ~dir:cache_dir ())
+          in
+          (* The journal lives beside the cache: jobs are recorded as they
+             complete, so a killed run leaves exactly the breadcrumbs
+             --resume needs.  A fresh (non-resume) run clears it. *)
+          let journal =
+            match cache with
+            | None -> None
+            | Some _ ->
+                let path = Filename.concat cache_dir "journal" in
+                if not resume then (try Sys.remove path with Sys_error _ -> ());
+                Some path
+          in
+          let policy =
+            {
+              Runner.Supervise.default_policy with
+              deadline;
+              max_attempts;
+            }
+          in
+          let t0 = Unix.gettimeofday () in
+          let rows, stats =
+            Experiments.Registry.run_selection ~quick ~workers ?cache ~policy
+              ?journal experiments
+          in
+          let bad = List.filter (fun r -> not r.Experiments.Report.ok) rows in
+          Printf.printf "\n%d/%d checks hold the paper's shape\n"
+            (List.length rows - List.length bad)
+            (List.length rows);
+          Printf.eprintf
+            "runner: %d jobs, %d cache hits, %d executed, %d respawns, %d \
+             retried, %d quarantined, %d resumed, %d workers, %.1f s\n"
+            stats.Runner.Pool.jobs stats.Runner.Pool.cache_hits
+            stats.Runner.Pool.executed stats.Runner.Pool.respawns
+            stats.Runner.Pool.retried stats.Runner.Pool.quarantined
+            stats.Runner.Pool.resumed workers
+            (Unix.gettimeofday () -. t0);
+          if check && bad <> [] then exit 2)
 
 let cmd =
   let doc = "Parallel, cached reproduction of the paper's experiment suite" in
@@ -78,6 +259,7 @@ let cmd =
     (Cmd.info "repro" ~doc)
     Term.(
       const main $ keys_arg $ all_arg $ quick_arg $ jobs_arg $ no_cache_arg
-      $ cache_dir_arg $ check_arg)
+      $ cache_dir_arg $ check_arg $ resume_arg $ split_run_arg $ deadline_arg
+      $ max_attempts_arg $ selftest_shrink_arg $ replay_arg)
 
 let () = exit (Cmd.eval cmd)

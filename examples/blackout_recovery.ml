@@ -46,9 +46,16 @@ let () =
         (Experiments.Report.mbps (phase (blackout_end +. 1.) duration))
         (Sim.Flow.lost_bytes flow) (Sim.Flow.stall_probes flow))
     (Sim.Network.flows net);
-  (match Sim.Network.invariant net with
-  | Some inv -> Printf.printf "\ninvariant monitor: %s\n" (Sim.Invariant.summary inv)
-  | None -> ());
+  let monitor_ok =
+    match Sim.Network.invariant net with
+    | None -> true
+    | Some inv ->
+        Printf.printf "\ninvariant monitor: %s\n" (Sim.Invariant.report inv);
+        Sim.Invariant.ok inv
+  in
   Printf.printf
     "\nBoth flows starve while the link is dark, then climb back — the\n\
-     blackout stresses the protocols, never the simulator's bookkeeping.\n"
+     blackout stresses the protocols, never the simulator's bookkeeping.\n";
+  (* A monitored example is a check, not just a demo: violations must be
+     visible to CI, so they set the exit status. *)
+  if not monitor_ok then exit 1

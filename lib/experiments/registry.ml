@@ -102,10 +102,40 @@ let rec take_drop n = function
       let taken, left = take_drop (n - 1) rest in
       (x :: taken, left)
 
-let run_selection ?(quick = false) ?(workers = 1) ?cache ?timeout experiments =
+let run_selection ?(quick = false) ?(workers = 1) ?cache ?timeout ?policy
+    ?journal experiments =
   let plans = List.map (fun e -> (e, e.plan ~quick)) experiments in
   let jobs = List.concat_map (fun (_, p) -> p.jobs) plans in
-  let results, stats = Runner.Pool.run ~workers ?timeout ?cache jobs in
+  let results, stats =
+    match (policy, journal) with
+    | None, None -> Runner.Pool.run ~workers ?timeout ?cache jobs
+    | _ ->
+        (* Supervised path: retries/quarantine/resume.  The merge layer
+           needs every payload, so a quarantined job is a hard failure
+           here — but only after the rest of the matrix completed (and
+           cached), so a re-run only re-executes the stragglers. *)
+        let policy =
+          match policy with
+          | Some p -> p
+          | None ->
+              { Runner.Supervise.default_policy with deadline = timeout }
+        in
+        let outcomes, stats =
+          Runner.Supervise.run ~workers ~policy ?cache ?journal jobs
+        in
+        let results =
+          List.map2
+            (fun j outcome ->
+              match outcome with
+              | Runner.Supervise.Done { out; payload } -> (out, payload)
+              | Runner.Supervise.Quarantined { reason; _ } ->
+                  raise
+                    (Runner.Pool.Job_failed
+                       { key = Runner.Job.key j; reason }))
+            jobs outcomes
+        in
+        (results, stats)
+  in
   (* Replay each experiment's captured stdout in job order, then merge and
      print its table: the byte stream is the same whether the jobs ran
      serially, in parallel, or straight out of the cache. *)

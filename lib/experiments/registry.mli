@@ -35,12 +35,23 @@ val run_selection :
   ?workers:int ->
   ?cache:Runner.Cache.t ->
   ?timeout:float ->
+  ?policy:Runner.Supervise.policy ->
+  ?journal:string ->
   experiment list ->
   Report.row list * Runner.Pool.stats
 (** Run the given experiments through one job pool ([workers] defaults to
     1 = serial in-process), printing each experiment's output and table in
     registry order; returns the concatenated rows and the pool counters.
     Output is byte-identical for any worker count and for cached re-runs.
+
+    Giving [policy] and/or [journal] routes the matrix through
+    {!Runner.Supervise.run}: per-attempt deadlines and heap ceilings,
+    retries with backoff, failure records, and journal-based resume
+    (jobs journaled done with intact cache entries are replayed, not
+    re-executed).  The merge layer needs every payload, so a quarantined
+    job still raises — but only after the rest of the matrix completed
+    and cached its results, so a subsequent run re-executes only the
+    stragglers.
     @raise Runner.Pool.Job_failed if a job raises or keeps crashing. *)
 
 val run_all :

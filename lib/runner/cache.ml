@@ -38,22 +38,53 @@ let find t ~key =
   in
   match In_channel.with_open_bin (path t ~key) In_channel.input_all with
   | exception Sys_error _ -> miss ()
-  | raw -> (
-      match (Marshal.from_string raw 0 : entry) with
-      | exception _ -> miss ()
-      | e ->
-          if e.e_key = key then begin
-            t.hits <- t.hits + 1;
-            Some (e.e_stdout, e.e_payload)
-          end
-          else miss ())
+  | raw ->
+      (* 16-byte digest prefix over the marshalled entry: a truncated,
+         torn or bit-flipped file fails here and degrades to a miss
+         before Marshal ever parses it. *)
+      if String.length raw < 16 then miss ()
+      else begin
+        let blob = String.sub raw 16 (String.length raw - 16) in
+        if Digest.string blob <> String.sub raw 0 16 then miss ()
+        else
+          match (Marshal.from_string blob 0 : entry) with
+          | exception _ -> miss ()
+          | e ->
+              if e.e_key = key then begin
+                t.hits <- t.hits + 1;
+                Some (e.e_stdout, e.e_payload)
+              end
+              else miss ()
+      end
+
+(* Crash-atomic write: temp + fsync + rename, then fsync the directory so
+   the rename survives a crash.  A SIGKILL at any instant leaves either no
+   entry or a complete one — the property the resume machinery relies on. *)
+let write_atomic path content =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let n = String.length content in
+      let written = ref 0 in
+      while !written < n do
+        written := !written + Unix.write_substring fd content !written (n - !written)
+      done;
+      Unix.fsync fd);
+  Sys.rename tmp path;
+  try
+    let dfd = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close dfd)
+      (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ())
+  with Unix.Unix_error _ -> ()
 
 let store t ~key ~stdout ~payload =
-  let tmp = Filename.temp_file ~temp_dir:t.dir "store" ".tmp" in
-  Out_channel.with_open_bin tmp (fun oc ->
-      Out_channel.output_string oc
-        (Marshal.to_string { e_key = key; e_stdout = stdout; e_payload = payload } []));
-  Sys.rename tmp (path t ~key)
+  let blob =
+    Marshal.to_string { e_key = key; e_stdout = stdout; e_payload = payload } []
+  in
+  write_atomic (path t ~key) (Digest.string blob ^ blob)
 
 let hits t = t.hits
 let misses t = t.misses

@@ -8,9 +8,12 @@
     hence possibly any result, or the memory layout [Marshal] relies on)
     silently invalidates everything, while re-running the same binary hits.
 
-    Writes go through a temp file plus atomic rename, so concurrent runs
-    sharing a cache directory never observe torn entries.  Unreadable or
-    corrupt entries are treated as misses, never errors. *)
+    Writes are crash-atomic: temp file, [fsync], atomic rename, directory
+    [fsync] — a SIGKILL or power cut at any instant leaves either no entry
+    or a complete one.  Every entry also carries a digest of its content,
+    so truncated or bit-flipped files are detected on read.  Unreadable or
+    corrupt entries are treated as misses (and recomputed), never
+    errors. *)
 
 type t
 
@@ -30,3 +33,8 @@ val hits : t -> int
 
 val misses : t -> int
 val dir : t -> string
+
+val write_atomic : string -> string -> unit
+(** The crash-atomic file-write primitive (temp + [fsync] + rename +
+    directory [fsync]) used for entries, exposed for sibling artifacts
+    (journals, failure records). *)

@@ -3,11 +3,40 @@ type stats = {
   cache_hits : int;
   executed : int;
   respawns : int;
+  retried : int;
+  quarantined : int;
+  resumed : int;
 }
 
 exception Job_failed of { key : string; reason : string }
+exception Heap_ceiling_exceeded of { limit : int; reached : int }
+
+let () =
+  Printexc.register_printer (function
+    | Heap_ceiling_exceeded { limit; reached } ->
+        Some
+          (Printf.sprintf
+             "Pool.Heap_ceiling_exceeded(limit=%d words, reached=%d words)"
+             limit reached)
+    | _ -> None)
 
 let default_workers () = Domain.recommended_domain_count ()
+
+(* Major-GC alarm tripping a hard heap ceiling.  Raising from the alarm
+   unwinds whatever allocation site triggered the collection, which is
+   only safe to do in a disposable forked worker — the job is abandoned
+   as a deterministic failure (no retry), the worker keeps serving. *)
+let with_heap_ceiling limit f =
+  match limit with
+  | None -> f ()
+  | Some limit ->
+      let alarm =
+        Gc.create_alarm (fun () ->
+            let reached = (Gc.quick_stat ()).Gc.heap_words in
+            if reached > limit then
+              raise (Heap_ceiling_exceeded { limit; reached }))
+      in
+      Fun.protect ~finally:(fun () -> Gc.delete_alarm alarm) f
 
 (* ------------------------------------------------------------------ *)
 (* Length-prefixed Marshal frames over pipes                           *)
@@ -79,13 +108,16 @@ let with_stdout_captured f =
 
 type response = { r_idx : int; r_out : string; r_res : (bytes, string) result }
 
-let worker_loop jobs req_r resp_w : unit =
+let worker_loop ?heap_ceiling jobs req_r resp_w : unit =
   let rec loop () =
     match read_frame req_r with
     | None -> Unix._exit 0 (* parent closed the request pipe: done *)
     | Some frame ->
         let idx : int = Marshal.from_bytes frame 0 in
-        let out, res = with_stdout_captured (fun () -> Job.force jobs.(idx)) in
+        let out, res =
+          with_stdout_captured (fun () ->
+              with_heap_ceiling heap_ceiling (fun () -> Job.force jobs.(idx)))
+        in
         let r_res =
           match res with
           | Ok payload -> Ok payload
@@ -110,26 +142,28 @@ type worker = {
 
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let run_serial ?cache jobs =
+let run_serial ?cache ?(on_done = fun _ -> ()) jobs =
   let hits = ref 0 and executed = ref 0 in
   let results =
     List.map
       (fun j ->
         let key = Job.key j in
         match Option.bind cache (fun c -> Cache.find c ~key) with
-        | Some entry ->
+        | Some (out, payload) ->
             incr hits;
-            entry
+            on_done j;
+            (out, Ok payload)
         | None -> (
             let out, res = with_stdout_captured (fun () -> Job.force j) in
             match res with
-            | Error e -> raise (Job_failed { key; reason = Printexc.to_string e })
+            | Error e -> (out, Error (Printexc.to_string e))
             | Ok payload ->
                 incr executed;
                 Option.iter
                   (fun c -> Cache.store c ~key ~stdout:out ~payload)
                   cache;
-                (out, payload)))
+                on_done j;
+                (out, Ok payload)))
       jobs
   in
   ( results,
@@ -138,26 +172,40 @@ let run_serial ?cache jobs =
       cache_hits = !hits;
       executed = !executed;
       respawns = 0;
+      retried = 0;
+      quarantined = 0;
+      resumed = 0;
     } )
 
-let run_parallel ~workers ~timeout ?cache ~max_attempts jobs_list =
+let run_parallel ~workers ~timeout ?cache ~max_attempts ?heap_ceiling
+    ?(on_done = fun _ -> ()) jobs_list =
   let jobs = Array.of_list jobs_list in
   let n = Array.length jobs in
-  let results : (string * bytes) option array = Array.make n None in
+  let results : (string * (bytes, string) result) option array =
+    Array.make n None
+  in
   let hits = ref 0 and executed = ref 0 and respawns = ref 0 in
   let queue = Queue.create () in
   for i = 0 to n - 1 do
     match Option.bind cache (fun c -> Cache.find c ~key:(Job.key jobs.(i))) with
-    | Some entry ->
-        results.(i) <- Some entry;
-        incr hits
+    | Some (out, payload) ->
+        results.(i) <- Some (out, Ok payload);
+        incr hits;
+        on_done jobs.(i)
     | None -> Queue.add i queue
   done;
   let remaining = ref (Queue.length queue) in
   let finish () =
     ( Array.to_list (Array.map Option.get results),
-      { jobs = n; cache_hits = !hits; executed = !executed; respawns = !respawns }
-    )
+      {
+        jobs = n;
+        cache_hits = !hits;
+        executed = !executed;
+        respawns = !respawns;
+        retried = 0;
+        quarantined = 0;
+        resumed = 0;
+      } )
   in
   if !remaining = 0 then finish ()
   else begin
@@ -181,7 +229,7 @@ let run_parallel ~workers ~timeout ?cache ~max_attempts jobs_list =
           List.iter close_quiet parent_fds;
           Unix.close req_w;
           Unix.close resp_r;
-          worker_loop jobs req_r resp_w;
+          worker_loop ?heap_ceiling jobs req_r resp_w;
           Unix._exit 1
       | pid ->
           Unix.close req_r;
@@ -213,7 +261,14 @@ let run_parallel ~workers ~timeout ?cache ~max_attempts jobs_list =
     in
     Fun.protect ~finally:cleanup (fun () ->
         let slots = Array.init n_workers (fun _ -> spawn ()) in
-        let fail i reason = raise (Job_failed { key = Job.key jobs.(i); reason }) in
+        (* A failed job records an [Error] in its slot and the matrix
+           keeps going — the caller decides whether one failure poisons
+           the whole run ({!run}) or gets retried/quarantined
+           ({!Supervise}). *)
+        let fail ?(out = "") i reason =
+          results.(i) <- Some (out, Error reason);
+          decr remaining
+        in
         let rec dispatch k =
           match Queue.take_opt queue with
           | None -> ()
@@ -255,6 +310,9 @@ let run_parallel ~workers ~timeout ?cache ~max_attempts jobs_list =
                     crash k (Printf.sprintf "timed out after %.1f s" tmo))
                 slots
           | None -> ());
+          (* A timeout (or crash) that exhausted a job's attempts may
+             have just recorded the last outstanding result. *)
+          if !remaining > 0 then begin
           let busy =
             Array.to_list slots |> List.filter (fun w -> w.current <> None)
           in
@@ -277,22 +335,46 @@ let run_parallel ~workers ~timeout ?cache ~max_attempts jobs_list =
                 | Some frame -> (
                     let resp : response = Marshal.from_bytes frame 0 in
                     match resp.r_res with
-                    | Error msg -> fail resp.r_idx msg
+                    | Error msg ->
+                        (* The job itself raised: deterministic, no
+                           retry.  The worker is still healthy. *)
+                        fail ~out:resp.r_out resp.r_idx msg;
+                        w.current <- None;
+                        dispatch k
                     | Ok payload ->
-                        results.(resp.r_idx) <- Some (resp.r_out, payload);
+                        results.(resp.r_idx) <- Some (resp.r_out, Ok payload);
                         Option.iter
                           (fun c ->
                             Cache.store c ~key:(Job.key jobs.(resp.r_idx))
                               ~stdout:resp.r_out ~payload)
                           cache;
+                        on_done jobs.(resp.r_idx);
                         incr executed;
                         decr remaining;
                         w.current <- None;
                         dispatch k))
+          end
         done;
         finish ())
   end
 
-let run ?(workers = 1) ?timeout ?cache ?(max_attempts = 2) jobs =
-  if workers <= 1 then run_serial ?cache jobs
-  else run_parallel ~workers ~timeout ?cache ~max_attempts jobs
+let run_results ?(workers = 1) ?timeout ?cache ?(max_attempts = 2)
+    ?heap_ceiling_words ?on_done jobs =
+  if workers <= 1 then run_serial ?cache ?on_done jobs
+  else
+    run_parallel ~workers ~timeout ?cache ~max_attempts
+      ?heap_ceiling:heap_ceiling_words ?on_done jobs
+
+let run ?workers ?timeout ?cache ?max_attempts ?heap_ceiling_words jobs =
+  let results, stats =
+    run_results ?workers ?timeout ?cache ?max_attempts ?heap_ceiling_words jobs
+  in
+  let results =
+    List.map2
+      (fun j (out, res) ->
+        match res with
+        | Ok payload -> (out, payload)
+        | Error reason -> raise (Job_failed { key = Job.key j; reason }))
+      jobs results
+  in
+  (results, stats)

@@ -26,21 +26,57 @@ type stats = {
   cache_hits : int;  (** jobs served from the cache, not executed *)
   executed : int;  (** jobs actually simulated this run *)
   respawns : int;  (** workers replaced after a crash or timeout *)
+  retried : int;
+      (** job attempts beyond the first, across supervision waves —
+          always 0 from {!run}/{!run_results}; filled by {!Supervise} *)
+  quarantined : int;
+      (** jobs abandoned after exhausting every supervised attempt —
+          always 0 from {!run}/{!run_results}; filled by {!Supervise} *)
+  resumed : int;
+      (** jobs skipped because a resume journal marked them done —
+          always 0 from {!run}/{!run_results}; filled by {!Supervise} *)
 }
 
 exception Job_failed of { key : string; reason : string }
-(** Raised when a job raises, or when it exhausts [max_attempts] via
-    worker crashes or timeouts.  All workers are killed first. *)
+(** Raised by {!run} when a job raises, or when it exhausts
+    [max_attempts] via worker crashes or timeouts.  All workers are
+    killed first. *)
+
+exception Heap_ceiling_exceeded of { limit : int; reached : int }
+(** A job's major heap grew past the configured ceiling (in words).
+    Raised inside the worker by a GC alarm and surfaced to the caller as
+    that job's [Error] string — a deterministic failure, never retried. *)
 
 val default_workers : unit -> int
 (** Parallelism matching the machine (the runtime's recommended domain
     count). *)
+
+val run_results :
+  ?workers:int ->
+  ?timeout:float ->
+  ?cache:Cache.t ->
+  ?max_attempts:int ->
+  ?heap_ceiling_words:int ->
+  ?on_done:(Job.t -> unit) ->
+  Job.t list ->
+  (string * (bytes, string) result) list * stats
+(** Like {!run} but total: every job yields either [Ok payload] or
+    [Error reason] in its slot and the whole matrix always completes —
+    one bad job cannot discard its siblings' finished work.  [Error]
+    covers a raising job (including {!Heap_ceiling_exceeded}), and a
+    worker crash / per-attempt [timeout] repeated [max_attempts] times.
+    [heap_ceiling_words] bounds each job's major heap; like [timeout] it
+    is enforced only on forked workers ([workers >= 2]).  [on_done] fires
+    in the parent the moment a job's result lands (cache hit or fresh
+    execution, after any cache store) — {!Supervise} uses it to journal
+    completions incrementally so a killed run can resume. *)
 
 val run :
   ?workers:int ->
   ?timeout:float ->
   ?cache:Cache.t ->
   ?max_attempts:int ->
+  ?heap_ceiling_words:int ->
   Job.t list ->
   (string * bytes) list * stats
 (** [run jobs] = per-job [(captured stdout, marshalled result)] in job
@@ -48,5 +84,7 @@ val run :
     in-process).  [timeout] is per job attempt, in wall seconds, enforced
     only on forked workers.  [max_attempts] (default 2) bounds executions
     of one job across crashes/timeouts; an exception raised by the job
-    itself fails immediately (it is deterministic).
+    itself fails immediately (it is deterministic).  Implemented on
+    {!run_results}: the full matrix runs (and caches) before the first
+    failure is raised.
     @raise Job_failed as described above. *)

@@ -1,0 +1,68 @@
+(** Supervised job execution: deadlines, heap ceilings, retries with
+    backoff, quarantine, failure records and crash-resume.
+
+    A supervised run drives {!Pool.run_results} in waves through a small
+    state machine per job:
+
+    {v pending -> running -> done
+                        \-> retrying (capped exponential backoff + jitter)
+                        \-> quarantined v}
+
+    Failures are retried up to [max_attempts] total attempts — except a
+    blown heap ceiling, which is deterministic and quarantines
+    immediately.  Quarantined jobs never poison their siblings: the rest
+    of the matrix completes and the caller decides what a quarantine
+    means.  Each quarantine leaves a structured failure record
+    ([<cache>/failures/<md5(key)>.json]: key, final reason, attempt
+    history, last checkpoint hash if a [checkpoint_of] hook was given).
+
+    With a [journal], every completion and quarantine is appended (fsync'd,
+    digest-guarded against torn lines) as it happens; re-running the same
+    matrix with the same journal path resumes — journaled-done jobs whose
+    cache entries are intact are not re-executed ([resumed] in the stats),
+    and everything else recomputes. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts before quarantine (default 3) *)
+  deadline : float option;  (** per-attempt wall-clock seconds (workers only) *)
+  heap_ceiling_words : int option;
+      (** per-job major-heap bound (workers only); exceeding it
+          quarantines without retry *)
+  backoff_base : float;  (** first retry delay, seconds (default 0.05) *)
+  backoff_max : float;  (** backoff cap, seconds (default 2.0) *)
+  sleep : float -> unit;
+      (** injectable for tests; default [Unix.sleepf].  Called once per
+          retry wave with the largest backoff owed in that wave. *)
+}
+
+val default_policy : policy
+
+val backoff : policy -> key:string -> attempt:int -> float
+(** [min backoff_max (base * 2^(attempt-1) * (1 + 0.5 * jitter))] with
+    deterministic per-(key, attempt) jitter in [0, 1) — replayable, no
+    clock involved. *)
+
+type attempt = { attempt : int; error : string }
+
+type outcome =
+  | Done of { out : string; payload : bytes }
+  | Quarantined of { reason : string; history : attempt list }
+      (** [history] is oldest-first *)
+
+val failure_record_path : Cache.t -> string -> string
+(** Where the failure record for a job key would be written:
+    [<cache dir>/failures/<md5(key)>.json]. *)
+
+val run :
+  ?workers:int ->
+  ?policy:policy ->
+  ?cache:Cache.t ->
+  ?journal:string ->
+  ?checkpoint_of:(string -> string option) ->
+  Job.t list ->
+  outcome list * Pool.stats
+(** Execute the matrix under supervision; outcomes in job order.  The
+    stats aggregate across waves and fill [retried] (attempts beyond each
+    job's first), [quarantined] and [resumed].  Failure records and the
+    journal are only persisted when [cache] / [journal] are given.
+    @raise Invalid_argument if [policy.max_attempts < 1]. *)

@@ -132,3 +132,21 @@ let on_dequeue t ~now ~sojourn =
       end
 
 let marks t = t.marks
+
+let fold_state buf t =
+  Statebuf.i buf t.marks;
+  match t.discipline with
+  | Threshold th ->
+      Statebuf.i buf 0;
+      Statebuf.i buf th
+  | Red s ->
+      Statebuf.i buf 1;
+      Statebuf.f buf s.avg;
+      Statebuf.i buf s.count;
+      Rng.fold_state buf s.rng
+  | Codel s ->
+      Statebuf.i buf 2;
+      Statebuf.opt Statebuf.f buf s.first_above;
+      Statebuf.b buf s.marking;
+      Statebuf.f buf s.next_mark;
+      Statebuf.i buf s.mark_count

@@ -45,3 +45,7 @@ val on_dequeue : t -> now:float -> sojourn:float -> verdict
 
 val marks : t -> int
 (** Total marks issued by this discipline. *)
+
+val fold_state : Buffer.t -> t -> unit
+(** Append the discipline's mutable state (EWMA, CoDel control law, mark
+    counters, RNG words) to a {!Statebuf} encoding. *)

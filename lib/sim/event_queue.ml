@@ -191,3 +191,17 @@ let run_until t horizon =
   loop ()
 
 let run t = while step t do () done
+
+(* The heap's array layout is a deterministic function of the operation
+   sequence, so identical runs produce identical folds, and a marshalled
+   copy reproduces the layout exactly.  Actions are closures and cannot
+   be content-hashed; the armed times and FIFO sequence numbers pin the
+   schedule, which is what divergence diagnosis needs. *)
+let fold_state buf t =
+  Statebuf.f buf t.now;
+  Statebuf.i buf t.size;
+  Statebuf.i buf t.next_seq;
+  for i = 0 to t.size - 1 do
+    Statebuf.f buf t.times.(i);
+    Statebuf.i buf t.seqs.(i)
+  done

@@ -78,3 +78,9 @@ val scheduled_time : t -> handle -> float
     (unlike {!scheduled_at}). *)
 
 val scheduled_at : t -> handle -> float option
+
+val fold_state : Buffer.t -> t -> unit
+(** Append the clock and the armed (time, sequence) pairs to a
+    {!Statebuf} encoding — part of the simulator's checkpoint content
+    hash.  Event callbacks are closures and are not folded; two runs of
+    the same binary and configuration produce identical folds. *)

@@ -46,6 +46,7 @@ type t = {
   mutable running : bool;
   mutable degraded : int; (* insane CCA outputs clamped *)
   mutable stall_probes : int; (* forced probe segments after a stall *)
+  record_series : bool;
   rtt_series : Series.t;
   cwnd_series : Series.t;
   delivered_series : Series.t;
@@ -284,7 +285,8 @@ let sample_inspect t =
     (t.cca.Cca.inspect ())
 
 let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
-    ?(min_rto = 0.2) ?initial_pacing ?inspect_period ~transmit () =
+    ?(min_rto = 0.2) ?initial_pacing ?inspect_period ?(record_series = true)
+    ~transmit () =
   let t =
     {
       id;
@@ -332,6 +334,7 @@ let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
       running = false;
       degraded = 0;
       stall_probes = 0;
+      record_series;
       rtt_series = Series.create ~name:(Printf.sprintf "flow%d.rtt" id) ();
       cwnd_series = Series.create ~name:(Printf.sprintf "flow%d.cwnd" id) ();
       delivered_series = Series.create ~name:(Printf.sprintf "flow%d.delivered" id) ();
@@ -433,9 +436,11 @@ let finish_ack t ~(newest : Packet.t) ~acked_bytes ~any_ce =
   a.Cca.app_limited <- newest.Packet.app_limited;
   a.Cca.ecn_ce <- any_ce;
   t.cca.Cca.on_ack a;
-  Series.add t.rtt_series ~time rtt;
-  Series.add t.cwnd_series ~time (t.cca.Cca.cwnd ());
-  Series.add t.delivered_series ~time (float_of_int t.delivered);
+  if t.record_series then begin
+    Series.add t.rtt_series ~time rtt;
+    Series.add t.cwnd_series ~time (t.cca.Cca.cwnd ());
+    Series.add t.delivered_series ~time (float_of_int t.delivered)
+  end;
   detect_losses t;
   sync_timer t;
   maybe_send t;
@@ -494,6 +499,42 @@ let receive_ack_one t (p : Packet.t) =
     advance_min_out t;
     finish_ack t ~newest:p ~acked_bytes:size ~any_ce:p.Packet.ce
   end
+
+let fold_state buf t =
+  Statebuf.i buf t.id;
+  Statebuf.i buf t.mss;
+  Statebuf.b buf t.got_first_ack;
+  Statebuf.i buf t.next_seq;
+  Statebuf.i buf t.min_out;
+  Statebuf.i buf t.inflight;
+  Statebuf.i buf t.delivered;
+  Statebuf.i buf t.lost;
+  Statebuf.i buf t.highest_acked;
+  Statebuf.f buf t.hot.next_send_time;
+  Statebuf.f buf t.hot.last_progress;
+  Statebuf.f buf t.hot.srtt;
+  Statebuf.f buf t.hot.rttvar;
+  Statebuf.b buf t.running;
+  Statebuf.i buf t.degraded;
+  Statebuf.i buf t.stall_probes;
+  (* Live outstanding window: fold only occupied slots, keyed by seq, so
+     the encoding is independent of ring capacity. *)
+  let mask = Array.length t.out_size - 1 in
+  for seq = t.min_out to t.next_seq - 1 do
+    let i = seq land mask in
+    if t.out_size.(i) > 0 then begin
+      Statebuf.i buf seq;
+      Statebuf.f buf t.out_sent.(i);
+      Statebuf.i buf t.out_size.(i);
+      Statebuf.i buf t.out_dats.(i)
+    end
+  done;
+  Series.fold_state buf t.rtt_series;
+  Series.fold_state buf t.cwnd_series;
+  Series.fold_state buf t.delivered_series;
+  List.iter
+    (fun k -> Series.fold_state buf (Hashtbl.find t.inspect_tbl k))
+    (List.rev t.inspect_keys)
 
 let throughput t ~t0 ~t1 =
   if t1 <= t0 then 0.

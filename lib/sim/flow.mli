@@ -23,6 +23,7 @@ val create :
   ?min_rto:float ->
   ?initial_pacing:float ->
   ?inspect_period:float ->
+  ?record_series:bool ->
   transmit:(Packet.t -> unit) ->
   unit ->
   t
@@ -35,7 +36,12 @@ val create :
     arrives, after which the CCA's own pacing (or lack of it) governs.  The
     Theorem 1 construction uses this to hand a converged CCA instance to a
     new network without a queue-spike transient, matching the fluid model's
-    initial conditions. *)
+    initial conditions.
+
+    [record_series] (default [true]) controls the per-ACK RTT / cwnd /
+    delivered traces.  Disabling it keeps {!delivered_bytes} and friends
+    exact while bounding the flow's memory — useful for long benchmark
+    runs where checkpoint size would otherwise grow with history. *)
 
 val id : t -> int
 val cca : t -> Cca.t
@@ -94,3 +100,10 @@ val inspect_series : t -> (string * Series.t) list
 (** The CCA's {!Cca.t.inspect} internals sampled every [inspect_period]
     seconds (empty unless that option was given to {!create}) — e.g.
     BBR's bandwidth estimate or Copa's velocity over time. *)
+
+val fold_state : Buffer.t -> t -> unit
+(** Append the flow's transport state (counters, RTT estimator, live
+    outstanding window keyed by sequence number, recorded series) to a
+    {!Statebuf} encoding — part of the simulator's checkpoint content
+    hash.  The encoding is independent of the outstanding ring's
+    capacity, so it is stable across ring growth. *)

@@ -48,3 +48,28 @@ let summary t =
     Printf.sprintf "%d violations in %d checks: %s" t.total t.checks_run
       (String.concat ", "
          (List.map (fun (k, n) -> Printf.sprintf "%s x%d" k n) (by_check t)))
+
+let violation_to_string v =
+  Printf.sprintf "[t=%.6f] %s: %s" v.time v.check v.detail
+
+let report ?(max_lines = 20) t =
+  let lines =
+    List.filteri (fun i _ -> i < max_lines) (violations t)
+    |> List.map violation_to_string
+  in
+  let lines =
+    if t.recorded_n > max_lines || t.total > t.recorded_n then
+      lines
+      @ [ Printf.sprintf "... (%d violations total)" t.total ]
+    else lines
+  in
+  String.concat "\n" (summary t :: lines)
+
+let fold_state buf t =
+  Statebuf.i buf t.total;
+  Statebuf.i buf t.checks_run;
+  List.iter
+    (fun (k, n) ->
+      Statebuf.s buf k;
+      Statebuf.i buf n)
+    (by_check t)

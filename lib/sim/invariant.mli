@@ -48,3 +48,18 @@ val summary : t -> string
 (** One-line human-readable summary, e.g.
     ["0 violations in 1200 checks"] or
     ["3 violations in 1200 checks: link-conservation x2, queue-bound x1"]. *)
+
+val violation_to_string : violation -> string
+(** ["[t=<sim time>] <check>: <detail>"] — every rendered violation leads
+    with the simulation time so logs from monitored runs are greppable
+    and sortable. *)
+
+val report : ?max_lines:int -> t -> string
+(** The {!summary} line followed by up to [max_lines] (default 20)
+    recorded violations, one {!violation_to_string} per line, plus a
+    truncation marker when more were tallied than shown. *)
+
+val fold_state : Buffer.t -> t -> unit
+(** Append the counts and the per-check tally (sorted by check name) to a
+    {!Statebuf} encoding — part of the simulator's checkpoint content
+    hash. *)

@@ -447,6 +447,58 @@ let enqueue t pkt =
     `Enqueued
   end
 
+let fold_sched buf = function
+  | Sfifo f ->
+      Statebuf.i buf 0;
+      Statebuf.i buf f.len;
+      let cap = Array.length f.pkts in
+      for k = 0 to f.len - 1 do
+        let idx = (f.head + k) mod cap in
+        Packet.fold_state buf f.pkts.(idx);
+        Statebuf.f buf f.enq.(idx)
+      done
+  | Sdrr d ->
+      Statebuf.i buf 1;
+      Statebuf.i buf d.quantum;
+      (* Hashtbl iteration order is insertion-history dependent; fold flow
+         ids in sorted order so the encoding is canonical. *)
+      let flows =
+        Hashtbl.fold (fun f _ acc -> f :: acc) d.queues []
+        |> List.sort compare
+      in
+      Statebuf.i buf (List.length flows);
+      List.iter
+        (fun f ->
+          Statebuf.i buf f;
+          let q = Hashtbl.find d.queues f in
+          Statebuf.i buf (Queue.length q);
+          Queue.iter
+            (fun (pkt, enq) ->
+              Packet.fold_state buf pkt;
+              Statebuf.f buf enq)
+            q;
+          Statebuf.i buf
+            (match Hashtbl.find_opt d.deficits f with Some v -> v | None -> 0))
+        flows;
+      Statebuf.i buf (Queue.length d.round);
+      Queue.iter (Statebuf.i buf) d.round
+
+let fold_state buf t =
+  Statebuf.opt Statebuf.i buf t.buffer;
+  Statebuf.i buf t.queued_bytes;
+  Statebuf.b buf t.busy;
+  Packet.fold_state buf t.in_service;
+  Statebuf.f buf t.in_service_enq.v;
+  Statebuf.i buf t.drops;
+  Statebuf.i buf t.ce_marks;
+  Statebuf.i buf t.offered_bytes;
+  Statebuf.i buf t.dropped_bytes;
+  Statebuf.i buf t.delivered_bytes;
+  fold_sched buf t.sched;
+  Statebuf.opt Aqm.fold_state buf t.aqm;
+  Statebuf.b buf t.record_queue;
+  Series.fold_state buf t.queue_series
+
 let queued_bytes t = t.queued_bytes
 
 let queue_delay t =

@@ -15,11 +15,13 @@ type flow_spec = {
   mss : int;
   initial_pacing : float option;
   inspect_period : float option;
+  record_series : bool;
 }
 
 let flow ?(start_time = 0.) ?stop_time ?(extra_rm = 0.) ?(jitter = Jitter.No_jitter)
     ?(jitter_bound = infinity) ?(ack_policy = Immediate) ?(loss_rate = 0.)
-    ?(mss = Cca.default_mss) ?initial_pacing ?inspect_period cca =
+    ?(mss = Cca.default_mss) ?initial_pacing ?inspect_period
+    ?(record_series = true) cca =
   {
     cca;
     start_time;
@@ -32,6 +34,7 @@ let flow ?(start_time = 0.) ?stop_time ?(extra_rm = 0.) ?(jitter = Jitter.No_jit
     mss;
     initial_pacing;
     inspect_period;
+    record_series;
   }
 
 type config = {
@@ -110,8 +113,10 @@ type t = {
   effective_rate : Link.rate;
   flows : Flow.t array;
   jitters : Jitter.t array;
+  loss_rngs : Rng.t array;
   data_lines : Packet.t Delay_line.t array;
   ack_paths : ack_path array;
+  delacks : delack_state array;
   random_losses : int array;
   faults : Fault.t option;
   invariant : Invariant.t option;
@@ -297,7 +302,8 @@ let build cfg =
           (Flow.create ~eq ~id:i ~cca:spec.cca ~mss:spec.mss
              ~start_time:(Float.max spec.start_time cfg.t0)
              ?stop_time:spec.stop_time ?initial_pacing:spec.initial_pacing
-             ?inspect_period:spec.inspect_period ~transmit:(transmit i) ()))
+             ?inspect_period:spec.inspect_period
+             ~record_series:spec.record_series ~transmit:(transmit i) ()))
     specs;
 
   (* Phantom initial queue: sets d*(0) without generating ACKs. *)
@@ -340,7 +346,7 @@ let build cfg =
         let inv = Invariant.create () in
         let prev_now = ref cfg.t0 in
         let prev_queued = ref (Link.queued_bytes link) in
-        let prev_jitter = ref 0 in
+        let prev_jitter = Array.make (Array.length jitters) 0 in
         let audit () =
           let now = Event_queue.now eq in
           Invariant.check inv ~time:now ~name:"clock-monotonic"
@@ -373,15 +379,24 @@ let build cfg =
                     queued cap !prev_queued)
                 (queued <= max cap !prev_queued));
           prev_queued := queued;
-          let jitter_total =
-            Array.fold_left (fun acc j -> acc + Jitter.violations j) 0 jitters
-          in
+          let jitter_delta = ref 0 in
+          Array.iteri
+            (fun i j -> jitter_delta := !jitter_delta + Jitter.violations j - prev_jitter.(i))
+            jitters;
           Invariant.check inv ~time:now ~name:"jitter-bound"
             ~detail:(fun () ->
-              Printf.sprintf "jitter element clamped %d new request(s)"
-                (jitter_total - !prev_jitter))
-            (jitter_total = !prev_jitter);
-          prev_jitter := jitter_total;
+              let parts = ref [] in
+              Array.iteri
+                (fun i j ->
+                  let d = Jitter.violations j - prev_jitter.(i) in
+                  if d > 0 then
+                    parts := Printf.sprintf "flow %d x%d" i d :: !parts)
+                jitters;
+              Printf.sprintf "jitter element clamped %d new request(s): %s"
+                !jitter_delta
+                (String.concat ", " (List.rev !parts)))
+            (!jitter_delta = 0);
+          Array.iteri (fun i j -> prev_jitter.(i) <- Jitter.violations j) jitters;
           Array.iteri
             (fun i f ->
               let inflight = Flow.inflight f in
@@ -429,8 +444,10 @@ let build cfg =
     effective_rate;
     flows;
     jitters;
+    loss_rngs;
     data_lines;
     ack_paths;
+    delacks;
     random_losses;
     faults;
     invariant;
@@ -438,11 +455,140 @@ let build cfg =
     ran = false;
   }
 
-let run t =
-  Event_queue.run_until t.eq (t.cfg.t0 +. t.cfg.duration);
+let now t = Event_queue.now t.eq
+let start_time t = t.cfg.t0
+let horizon t = t.cfg.t0 +. t.cfg.duration
+let config_of t = t.cfg
+
+(* --- Checkpoint serialization ------------------------------------------- *)
+
+(* One Marshal call over the whole network record.  [Closures] captures
+   every CCA, event action and audit closure together with the heap graph
+   they share, so mutable-state aliasing (e.g. the delack arrays both in
+   the record and in the ACK-path closures) is preserved exactly.  The
+   payload is only readable by the producing binary; {!Snapshot} guards
+   restores with the executable's digest. *)
+let serialize t = Marshal.to_string t [ Marshal.Closures ]
+let deserialize s : t = Marshal.from_string s 0
+
+let fold_delivery buf (d : Packet.delivery) =
+  Packet.fold_state buf d.Packet.packet;
+  Statebuf.f buf d.Packet.delivered_at
+
+let fold_batch buf batch =
+  Statebuf.i buf (List.length batch);
+  List.iter (fold_delivery buf) batch
+
+(* Named components of the content hash: {!Snapshot.first_divergence}
+   reports the first one whose digest differs between two runs. *)
+let fingerprint t =
+  let base =
+    [
+      ("event-queue", Statebuf.digest Event_queue.fold_state t.eq);
+      ("link", Statebuf.digest Link.fold_state t.link);
+    ]
+  in
+  let per_flow =
+    Array.to_list
+      (Array.mapi
+         (fun i f ->
+           (Printf.sprintf "flow%d" i, Statebuf.digest Flow.fold_state f))
+         t.flows)
+  in
+  let rest =
+    [
+      ( "jitters",
+        Statebuf.digest
+          (fun buf a -> Array.iter (Jitter.fold_state buf) a)
+          t.jitters );
+      ( "loss-rngs",
+        Statebuf.digest
+          (fun buf a -> Array.iter (Rng.fold_state buf) a)
+          t.loss_rngs );
+      ( "data-lines",
+        Statebuf.digest
+          (fun buf a ->
+            Array.iter (Delay_line.fold_state Packet.fold_state buf) a)
+          t.data_lines );
+      ( "ack-paths",
+        Statebuf.digest
+          (fun buf a ->
+            Array.iter
+              (function
+                | Fast l -> Delay_line.fold_state Packet.fold_state buf l
+                | Batched l -> Delay_line.fold_state fold_batch buf l)
+              a)
+          t.ack_paths );
+      ( "delacks",
+        Statebuf.digest
+          (fun buf a ->
+            Array.iter
+              (fun st ->
+                Statebuf.i buf st.count;
+                fold_batch buf st.held)
+              a)
+          t.delacks );
+      ( "random-losses",
+        Statebuf.digest
+          (fun buf a -> Array.iter (Statebuf.i buf) a)
+          t.random_losses );
+      ("faults", Statebuf.digest (Statebuf.opt Fault.fold_state) t.faults);
+      ( "invariant",
+        Statebuf.digest (Statebuf.opt Invariant.fold_state) t.invariant );
+    ]
+  in
+  base @ per_flow @ rest
+
+let fold_state buf t =
+  List.iter
+    (fun (name, digest) ->
+      Statebuf.s buf name;
+      Statebuf.s buf digest)
+    (fingerprint t);
+  Statebuf.b buf t.ran
+
+let state_hash t = Statebuf.digest fold_state t
+
+(* --- Running ------------------------------------------------------------- *)
+
+let run_to t time = Event_queue.run_until t.eq (Float.min time (horizon t))
+
+let finish t =
+  Event_queue.run_until t.eq (horizon t);
   t.audit ();
   t.ran <- true;
   t
+
+(* Split-run mode: every [run] executes to mid-horizon, checkpoints,
+   finishes the restored copy AND the original, and fails hard unless
+   their full state hashes agree.  Flipping this one switch turns any
+   experiment into an end-to-end proof that checkpoint/restore is exact
+   for its scenarios.  The *original* is what the caller gets back:
+   experiments may legitimately hold aliases into config-embedded
+   objects — Theorem 1 re-uses CCA instances warmed on one network
+   inside another — and those aliases must see the fully evolved state,
+   not a copy's.  A module-level ref — deliberately not part of the
+   marshaled state — so `repro --split-run` reaches every network the
+   experiment registry builds without threading a flag through each
+   experiment. *)
+let split_run = ref false
+let set_split_run v = split_run := v
+
+let run t =
+  if (not !split_run) || t.ran then finish t
+  else begin
+    run_to t (t.cfg.t0 +. (t.cfg.duration /. 2.));
+    let snap = serialize t in
+    let copy = finish (deserialize snap) in
+    let t = finish t in
+    if state_hash copy <> state_hash t then
+      failwith
+        (Printf.sprintf
+           "Network.run (split-run): restored copy diverged from the \
+            straight run after the t=%.6f checkpoint"
+           (t.cfg.t0 +. (t.cfg.duration /. 2.)));
+    t
+  end
 
 let run_config cfg = run (build cfg)
 

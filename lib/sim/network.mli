@@ -33,12 +33,15 @@ type flow_spec = {
   inspect_period : float option;
       (** sample the CCA's internals into {!Flow.inspect_series} at this
           period *)
+  record_series : bool;
+      (** record the per-ACK RTT / cwnd / delivered traces (see
+          {!Flow.create}); defaults to [true] *)
 }
 
 val flow : ?start_time:float -> ?stop_time:float -> ?extra_rm:float ->
   ?jitter:Jitter.policy -> ?jitter_bound:float -> ?ack_policy:ack_policy ->
   ?loss_rate:float -> ?mss:int -> ?initial_pacing:float ->
-  ?inspect_period:float -> Cca.t -> flow_spec
+  ?inspect_period:float -> ?record_series:bool -> Cca.t -> flow_spec
 (** Spec with defaults: starts at 0, never stops, no extra delay, no jitter
     (bound [infinity]), immediate ACKs, no random loss, 1500-byte MSS. *)
 
@@ -87,10 +90,66 @@ val build : config -> t
 (** Assemble the network without running it. *)
 
 val run : t -> t
-(** Run to [duration]; returns the same handle for chaining. *)
+(** Run to [duration]; returns the handle to read results from (the
+    argument itself).  In split-run mode (see {!set_split_run}) the
+    simulation runs to mid-horizon, is serialized, and {e both} the
+    restored copy and the original are finished; {!run} raises unless
+    their full state hashes agree, so every experiment doubles as an
+    end-to-end checkpoint/restore equivalence proof.  The original is
+    still what is returned: callers may hold aliases into
+    config-embedded objects (warmed CCA instances) that must see the
+    fully evolved state. *)
 
 val run_config : config -> t
 (** [build |> run]. *)
+
+val run_to : t -> float -> unit
+(** Advance the simulation to [min time horizon] without finalizing:
+    the closing audit does not run and the network can be advanced
+    further (or serialized) afterwards.  Used by {!Snapshot} to pause at
+    checkpoint boundaries. *)
+
+val now : t -> float
+(** Current simulation time. *)
+
+val start_time : t -> float
+val horizon : t -> float
+(** [t0] and [t0 + duration] of the underlying config. *)
+
+val config_of : t -> config
+
+(** {2 Checkpointing} *)
+
+val serialize : t -> string
+(** Marshal the complete simulation state — flows, link, queues, delay
+    lines, RNG streams, recorded series, pending events and the closures
+    tying them together — into one opaque payload.  Restoring it yields a
+    network whose future is byte-identical to the original's.  The
+    payload is only valid in the producing binary ([Marshal.Closures]);
+    use {!Snapshot} for a guarded on-disk format. *)
+
+val deserialize : string -> t
+(** Inverse of {!serialize}.  Unsafe across binaries — see {!Snapshot}. *)
+
+val state_hash : t -> string
+(** Hex digest of the network's observable mutable state, computed from
+    per-module [fold_state] encodings (not from the Marshal payload), so
+    it is stable across binaries and heap layouts.  Two runs of the same
+    configuration that have processed the same events hash identically;
+    this is the divergence oracle used by checkpoint equivalence tests
+    and CI determinism checks. *)
+
+val fingerprint : t -> (string * string) list
+(** The named per-component digests underlying {!state_hash}
+    (["event-queue"], ["link"], ["flow0"], ...) — lets a divergence
+    report name the first component that differs rather than just "the
+    hash changed". *)
+
+val set_split_run : bool -> unit
+(** Globally switch {!run} into split-run mode (default off): run to
+    mid-horizon, serialize, finish both the restored copy and the
+    original, and fail hard if their state hashes differ.  Not part of
+    the serialized state. *)
 
 val event_queue : t -> Event_queue.t
 val link : t -> Link.t

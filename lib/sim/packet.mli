@@ -25,4 +25,8 @@ val dummy : t
     slots, in-service registers — that need a value of the packet type
     without pinning a real packet.  Never enters the network. *)
 
+val fold_state : Buffer.t -> t -> unit
+(** Append every field to a {!Statebuf} encoding — part of the
+    simulator's checkpoint content hash. *)
+
 val pp : Format.formatter -> t -> unit

@@ -48,3 +48,9 @@ let int t bound =
   int_of_float (float t (float_of_int bound))
 
 let bool t ~p = float t 1. < p
+
+let fold_state buf t =
+  Statebuf.i64 buf t.s0;
+  Statebuf.i64 buf t.s1;
+  Statebuf.i64 buf t.s2;
+  Statebuf.i64 buf t.s3

@@ -24,3 +24,8 @@ val bool : t -> p:float -> bool
 (** Bernoulli draw: [true] with probability [p]. *)
 
 val bits64 : t -> int64
+
+val fold_state : Buffer.t -> t -> unit
+(** Append the full generator state (the four xoshiro words) to a
+    {!Statebuf} encoding — part of the simulator's checkpoint content
+    hash. *)

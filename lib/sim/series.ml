@@ -145,6 +145,14 @@ let resample t ~t0 ~t1 ~dt =
         let v = match value_at t q with Some v -> v | None -> t.values.(0) in
         (q, v))
 
+let fold_state buf t =
+  Statebuf.s buf t.series_name;
+  Statebuf.i buf t.len;
+  for i = 0 to t.len - 1 do
+    Statebuf.f buf t.times.(i);
+    Statebuf.f buf t.values.(i)
+  done
+
 let map f t =
   let out = create ~name:t.series_name () in
   for i = 0 to t.len - 1 do

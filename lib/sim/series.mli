@@ -23,6 +23,11 @@ val to_list : t -> (float * float) list
 val last : t -> (float * float) option
 val first : t -> (float * float) option
 
+val fold_state : Buffer.t -> t -> unit
+(** Append name, length and every (time, value) bit pattern to a
+    {!Statebuf} encoding — part of the simulator's checkpoint content
+    hash. *)
+
 val value_at : t -> float -> float option
 (** Step interpolation: the value of the latest sample at or before the
     query time; [None] before the first sample. *)

@@ -25,9 +25,13 @@ let fresh_dir prefix =
   (* Cache.create makes the directory itself. *)
   d
 
-let rm_rf dir =
+let rec rm_rf dir =
   if Sys.file_exists dir then begin
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if Sys.is_directory p then rm_rf p else Sys.remove p)
+      (Sys.readdir dir);
     Sys.rmdir dir
   end
 
@@ -219,6 +223,241 @@ let test_parallel_run_fills_cache () =
       Alcotest.(check int) "serial warm run hits parallel entries" 12
         s2.Runner.Pool.cache_hits)
 
+let test_truncated_cache_entry_recomputed () =
+  let dir = fresh_dir "runner_cache_trunc" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let _, s1 = run_with_cache ~dir ~workers:1 3 in
+      Alcotest.(check int) "cold run executes all" 3 s1.Runner.Pool.executed;
+      (* Truncate every entry as a crash mid-write would (if the writes
+         were not atomic) and garble one outright. *)
+      let entries =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".job")
+        |> List.map (Filename.concat dir)
+      in
+      Alcotest.(check int) "three entries on disk" 3 (List.length entries);
+      List.iteri
+        (fun i p ->
+          let raw = In_channel.with_open_bin p In_channel.input_all in
+          Out_channel.with_open_bin p (fun oc ->
+              if i = 0 then Out_channel.output_string oc "garbage"
+              else
+                Out_channel.output_string oc
+                  (String.sub raw 0 (String.length raw / 2))))
+        entries;
+      (* Corrupt entries must degrade to misses and recompute, not crash
+         or decode garbage. *)
+      let again, s2 = run_with_cache ~dir ~workers:1 3 in
+      Alcotest.(check int) "all recomputed" 3 s2.Runner.Pool.executed;
+      Alcotest.(check int) "no hits from corrupt entries" 0
+        s2.Runner.Pool.cache_hits;
+      Alcotest.(check (list int)) "results still correct" [ 0; 1; 4 ]
+        (List.map snd (decoded again));
+      (* The recomputation rewrote intact entries. *)
+      let _, s3 = run_with_cache ~dir ~workers:1 3 in
+      Alcotest.(check int) "entries healed" 3 s3.Runner.Pool.cache_hits)
+
+(* ------------------------------------------------------------------ *)
+(* Supervision                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* No-sleep policy so retry tests don't wait out real backoff. *)
+let test_policy ?deadline ?heap_ceiling_words ?(max_attempts = 3) () =
+  {
+    Runner.Supervise.default_policy with
+    max_attempts;
+    deadline;
+    heap_ceiling_words;
+    sleep = (fun _ -> ());
+  }
+
+let test_supervise_matches_plain () =
+  let plain, _ = Runner.Pool.run (jobs 6) in
+  let outcomes, stats =
+    Runner.Supervise.run ~policy:(test_policy ()) (jobs 6)
+  in
+  let supervised =
+    List.map
+      (function
+        | Runner.Supervise.Done { out; payload } -> (out, payload)
+        | Runner.Supervise.Quarantined { reason; _ } -> Alcotest.fail reason)
+      outcomes
+  in
+  Alcotest.(check (list (pair string int)))
+    "supervised results byte-equal to plain pool run" (decoded plain)
+    (decoded supervised);
+  Alcotest.(check int) "no retries" 0 stats.Runner.Pool.retried;
+  Alcotest.(check int) "no quarantines" 0 stats.Runner.Pool.quarantined
+
+let test_supervise_retries_flaky () =
+  (* Fails (raises) until the third attempt, then succeeds: one job's
+     flakiness must not fail the matrix, and the attempts must be
+     counted. *)
+  let marker = Filename.temp_file "runner_flaky" ".marker" in
+  let flaky =
+    Runner.Job.create ~key:"t/flaky" (fun () ->
+        let n =
+          int_of_string (In_channel.with_open_bin marker In_channel.input_all)
+        in
+        Out_channel.with_open_bin marker (fun oc ->
+            Out_channel.output_string oc (string_of_int (n + 1)));
+        if n < 2 then failwith (Printf.sprintf "flaky attempt %d" n);
+        777)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove marker with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_bin marker (fun oc ->
+          Out_channel.output_string oc "0");
+      let outcomes, stats =
+        Runner.Supervise.run ~policy:(test_policy ()) [ job 1; flaky ]
+      in
+      (match outcomes with
+      | [ Runner.Supervise.Done _; Runner.Supervise.Done { payload; _ } ] ->
+          Alcotest.(check int) "flaky result" 777
+            (Runner.Job.decode payload)
+      | _ -> Alcotest.fail "expected both jobs Done");
+      Alcotest.(check int) "two retries counted" 2 stats.Runner.Pool.retried)
+
+let test_supervise_quarantine_and_failure_record () =
+  let dir = fresh_dir "runner_quarantine" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let cache = Runner.Cache.create ~dir ~version:"test" () in
+      let bad =
+        Runner.Job.create ~key:"t/hopeless" (fun () ->
+            if true then failwith "always broken";
+            0)
+      in
+      let outcomes, stats =
+        Runner.Supervise.run
+          ~policy:(test_policy ~max_attempts:2 ())
+          ~cache [ job 1; bad ]
+      in
+      (match outcomes with
+      | [ Runner.Supervise.Done _;
+          Runner.Supervise.Quarantined { reason; history } ] ->
+          Alcotest.(check int) "full attempt history" 2 (List.length history);
+          Alcotest.(check bool) "reason mentions the failure" true
+            (String.length reason > 0)
+      | _ -> Alcotest.fail "expected Done + Quarantined");
+      Alcotest.(check int) "one quarantine" 1 stats.Runner.Pool.quarantined;
+      (* The structured failure record landed beside the cache. *)
+      let record = Runner.Supervise.failure_record_path cache "t/hopeless" in
+      Alcotest.(check bool) "failure record exists" true
+        (Sys.file_exists record);
+      let body = In_channel.with_open_bin record In_channel.input_all in
+      List.iter
+        (fun needle ->
+          let n = String.length needle and m = String.length body in
+          let rec at i =
+            i + n <= m && (String.sub body i n = needle || at (i + 1))
+          in
+          Alcotest.(check bool) ("record contains " ^ needle) true (at 0))
+        [ "t/hopeless"; "always broken"; "\"attempts\"" ])
+
+let test_supervise_journal_resume () =
+  let dir = fresh_dir "runner_journal" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let journal = Filename.concat dir "journal" in
+      let cache () = Runner.Cache.create ~dir ~version:"test" () in
+      let outcomes1, s1 =
+        Runner.Supervise.run ~policy:(test_policy ()) ~cache:(cache ())
+          ~journal (jobs 4)
+      in
+      Alcotest.(check int) "first run executes all" 4 s1.Runner.Pool.executed;
+      (* Same journal, same cache: everything resumes, nothing runs. *)
+      let outcomes2, s2 =
+        Runner.Supervise.run ~policy:(test_policy ()) ~cache:(cache ())
+          ~journal (jobs 4)
+      in
+      Alcotest.(check int) "all resumed" 4 s2.Runner.Pool.resumed;
+      Alcotest.(check int) "nothing executed" 0 s2.Runner.Pool.executed;
+      let payloads o =
+        List.map
+          (function
+            | Runner.Supervise.Done { out; payload } -> (out, payload)
+            | Runner.Supervise.Quarantined { reason; _ } -> Alcotest.fail reason)
+          o
+      in
+      Alcotest.(check (list (pair string int))) "resumed results identical"
+        (decoded (payloads outcomes1))
+        (decoded (payloads outcomes2));
+      (* A journaled-done job whose cache entry vanished recomputes. *)
+      let victim_key = Runner.Job.key (job 2) in
+      let victim_path =
+        (* Cache file names are private; find it by elimination: probe
+           each entry and delete the one holding the victim. *)
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".job")
+        |> List.map (Filename.concat dir)
+        |> List.find (fun p ->
+               let c = cache () in
+               let raw = In_channel.with_open_bin p In_channel.input_all in
+               Sys.remove p;
+               let gone = Runner.Cache.find c ~key:victim_key = None in
+               Out_channel.with_open_bin p (fun oc ->
+                   Out_channel.output_string oc raw);
+               gone)
+      in
+      Sys.remove victim_path;
+      let _, s3 =
+        Runner.Supervise.run ~policy:(test_policy ()) ~cache:(cache ())
+          ~journal (jobs 4)
+      in
+      Alcotest.(check int) "three resumed" 3 s3.Runner.Pool.resumed;
+      Alcotest.(check int) "one recomputed" 1 s3.Runner.Pool.executed)
+
+let test_supervise_heap_ceiling_quarantines () =
+  (* The allocation bomb must run in a forked worker: the Gc alarm
+     raises at the end of a major collection in that process only. *)
+  let bomb =
+    Runner.Job.create ~key:"t/heap-bomb" (fun () ->
+        let acc = ref [] in
+        for _ = 1 to 200_000 do
+          acc := Bytes.create 1024 :: !acc
+        done;
+        List.length !acc)
+  in
+  let outcomes, stats =
+    Runner.Supervise.run ~workers:2
+      ~policy:(test_policy ~heap_ceiling_words:(4 * 1024 * 1024) ())
+      [ job 1; bomb ]
+  in
+  (match outcomes with
+  | [ Runner.Supervise.Done _;
+      Runner.Supervise.Quarantined { reason; history } ] ->
+      let mentions_ceiling =
+        let needle = "heap ceiling" in
+        let n = String.length needle and m = String.length reason in
+        let rec at i =
+          i + n <= m && (String.sub reason i n = needle || at (i + 1))
+        in
+        at 0
+      in
+      Alcotest.(check bool) "reason names the heap ceiling" true
+        mentions_ceiling;
+      Alcotest.(check int) "no retry of a deterministic failure" 1
+        (List.length history)
+  | _ -> Alcotest.fail "expected Done + Quarantined");
+  Alcotest.(check int) "quarantined" 1 stats.Runner.Pool.quarantined;
+  Alcotest.(check int) "not retried" 0 stats.Runner.Pool.retried
+
+let test_supervise_backoff_deterministic () =
+  let p = Runner.Supervise.default_policy in
+  let b1 = Runner.Supervise.backoff p ~key:"k" ~attempt:1 in
+  let b1' = Runner.Supervise.backoff p ~key:"k" ~attempt:1 in
+  let b4 = Runner.Supervise.backoff p ~key:"k" ~attempt:4 in
+  Alcotest.(check (float 0.)) "replayable" b1 b1';
+  Alcotest.(check bool) "grows with attempts" true (b4 > b1);
+  Alcotest.(check bool) "capped" true
+    (Runner.Supervise.backoff p ~key:"k" ~attempt:30 <= p.backoff_max)
+
 (* ------------------------------------------------------------------ *)
 (* Registry plans                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -295,6 +534,23 @@ let () =
             test_cached_rerun_executes_nothing;
           Alcotest.test_case "parallel run fills cache" `Quick
             test_parallel_run_fills_cache;
+          Alcotest.test_case "truncated entry recomputed" `Quick
+            test_truncated_cache_entry_recomputed;
+        ] );
+      ( "supervise",
+        [
+          Alcotest.test_case "matches plain pool run" `Quick
+            test_supervise_matches_plain;
+          Alcotest.test_case "retries flaky job" `Quick
+            test_supervise_retries_flaky;
+          Alcotest.test_case "quarantine writes failure record" `Quick
+            test_supervise_quarantine_and_failure_record;
+          Alcotest.test_case "journal resume" `Quick
+            test_supervise_journal_resume;
+          Alcotest.test_case "heap ceiling quarantines" `Quick
+            test_supervise_heap_ceiling_quarantines;
+          Alcotest.test_case "backoff deterministic" `Quick
+            test_supervise_backoff_deterministic;
         ] );
       ( "registry",
         [
