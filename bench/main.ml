@@ -410,6 +410,53 @@ let snapshot_overhead () =
     overhead,
     !checkpoints / reps )
 
+(* Invariant-monitor (oracle) overhead: the same canonical Reno run with
+   the audit closure off vs auditing every 10 ms of simulated time.  The
+   audit walks the conservation identities (link, per-flow, end-to-end)
+   plus the clock/queue/jitter checks, so this prices the whole oracle
+   layer as experienced by a monitored experiment; validation off must
+   stay within the CI gate (<= 10%).  Interleaved best-of-5 timing, same
+   rationale as [snapshot_overhead]. *)
+let monitor_period = 0.01
+
+let oracle_overhead () =
+  let rate = Sim.Units.mbps 192. in
+  let duration = if quick then 2.0 else 4.0 in
+  let reps = if quick then 4 else 6 in
+  let cfg ~monitored () =
+    Sim.Network.config ~rate:(Sim.Link.Constant rate)
+      ~buffer:(Sim.Units.bdp_bytes ~rate ~rtt:0.01) ~rm:0.01 ~duration
+      ?monitor_period:(if monitored then Some monitor_period else None)
+      [ Sim.Network.flow ~record_series:false (Reno.make ()) ]
+  in
+  let pkts = ref 0 in
+  let run ~monitored () =
+    pkts := 0;
+    for _ = 1 to reps do
+      let net = Sim.Network.run_config (cfg ~monitored ()) in
+      pkts := !pkts + (Sim.Flow.delivered_bytes (Sim.Network.flows net).(0) / 1500)
+    done
+  in
+  let plain () = run ~monitored:false () in
+  let monitored () = run ~monitored:true () in
+  plain ();
+  monitored ();
+  let t_plain = ref infinity and t_mon = ref infinity in
+  for _ = 1 to 5 do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    plain ();
+    t_plain := Float.min !t_plain (Unix.gettimeofday () -. t0);
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    monitored ();
+    t_mon := Float.min !t_mon (Unix.gettimeofday () -. t0)
+  done;
+  let pps_plain = float_of_int !pkts /. !t_plain in
+  let pps_mon = float_of_int !pkts /. !t_mon in
+  let overhead = Float.max 0. ((!t_mon /. !t_plain) -. 1.) in
+  (pps_plain, pps_mon, overhead)
+
 let macro_bench () =
   let cfg = macro_config () in
   (* Warm up: code paths, minor heap sizing, series growth. *)
@@ -450,6 +497,10 @@ let macro_bench () =
     (Printf.sprintf "checkpoints every %gs: pkts/sec" snapshot_interval)
     pps_plain pps_snap (overhead *. 100.);
   Printf.printf "%-34s %25d\n" "checkpoints per run" per_run;
+  let pps_unmon, pps_mon, oracle_frac = oracle_overhead () in
+  Printf.printf "%-34s %12.0f %12.0f %6.1f%%\n"
+    (Printf.sprintf "invariant audit every %gs: pkts/sec" monitor_period)
+    pps_unmon pps_mon (oracle_frac *. 100.);
   let json = "BENCH_simulator.json" in
   write_bench_json json
     [
@@ -476,6 +527,10 @@ let macro_bench () =
       ("packets_per_sec_no_snapshots", Printf.sprintf "%.1f" pps_plain);
       ("packets_per_sec_with_snapshots", Printf.sprintf "%.1f" pps_snap);
       ("snapshot_overhead_frac", Printf.sprintf "%.4f" overhead);
+      ("monitor_period_sim_sec", Printf.sprintf "%g" monitor_period);
+      ("packets_per_sec_unmonitored", Printf.sprintf "%.1f" pps_unmon);
+      ("packets_per_sec_monitored", Printf.sprintf "%.1f" pps_mon);
+      ("oracle_overhead_frac", Printf.sprintf "%.4f" oracle_frac);
     ];
   Printf.printf "wrote %s\n" json
 

@@ -84,6 +84,26 @@ let replay_arg =
                shrinker) and re-run it; exit 0 iff it still trips the \
                recorded invariant check.")
 
+let allow_failures_arg =
+  Arg.(value & flag & info [ "allow-failures" ]
+         ~doc:"Do not fail the run when a job is quarantined: skip the \
+               owning experiment (notice on stderr) and exit 0.  Without \
+               this flag any quarantined or retry-exhausted job exits 3.")
+
+let fuzz_arg =
+  Arg.(value & opt (some int) None & info [ "fuzz" ] ~docv:"N"
+         ~doc:"Ignore the experiment arguments: fuzz $(docv) generated \
+               scenarios through every validation oracle (conservation, \
+               determinism, rescale metamorphic + the invariant monitor). \
+               Violations are shrunk, persisted as a replayable corpus \
+               under the cache dir, and exit 4.")
+
+let fuzz_seed_arg =
+  Arg.(value & opt int 1 & info [ "fuzz-seed" ] ~docv:"SEED"
+         ~doc:"Base seed for --fuzz: scenario $(i,i) of seed $(i,S) is a \
+               pure function of (S, i), so a violating (seed, index) pair \
+               reproduces anywhere.")
+
 let select keys all =
   if all || keys = [] then Ok Experiments.Registry.all
   else
@@ -194,15 +214,52 @@ let replay file =
       end
 
 (* --------------------------------------------------------------------- *)
+(* Scenario fuzzing                                                       *)
+(* --------------------------------------------------------------------- *)
+
+let fuzz ~seed ~n ~cache_dir =
+  let t0 = Unix.gettimeofday () in
+  let report =
+    Validate.Fuzz.run ~dir:cache_dir ~log:print_endline ~seed ~n ()
+  in
+  Printf.printf
+    "fuzz: seed %d, %d scenarios, %d verdicts, %d violation(s), %.1f s\n" seed
+    report.Validate.Fuzz.samples report.Validate.Fuzz.verdicts_checked
+    (List.length report.Validate.Fuzz.violations)
+    (Unix.gettimeofday () -. t0);
+  let subdir = Filename.concat cache_dir (Printf.sprintf "fuzz-%d" seed) in
+  (try Unix.mkdir cache_dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (try Unix.mkdir subdir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Sim.Snapshot.write_atomic_file
+    (Filename.concat subdir "report.json")
+    (Validate.Fuzz.report_to_json report);
+  Printf.printf "fuzz: report written to %s\n"
+    (Filename.concat subdir "report.json");
+  if report.Validate.Fuzz.violations <> [] then begin
+    List.iter
+      (fun v ->
+        Printf.eprintf "fuzz: violation in %s%s\n" v.Validate.Fuzz.summary
+          (match v.Validate.Fuzz.repro_path with
+          | Some p -> Printf.sprintf " (reproducer: %s)" p
+          | None -> ""))
+      report.Validate.Fuzz.violations;
+    exit 4
+  end
+
+(* --------------------------------------------------------------------- *)
 (* Main driver                                                            *)
 (* --------------------------------------------------------------------- *)
 
 let main keys all quick jobs no_cache cache_dir check resume split_run
-    deadline max_attempts selftest replay_file =
-  match (selftest, replay_file) with
-  | Some dir, _ -> selftest_shrink dir
-  | None, Some file -> replay file
-  | None, None -> (
+    deadline max_attempts selftest replay_file allow_failures fuzz_n
+    fuzz_seed =
+  match (selftest, replay_file, fuzz_n) with
+  | Some dir, _, _ -> selftest_shrink dir
+  | None, Some file, _ -> replay file
+  | None, None, Some n -> fuzz ~seed:fuzz_seed ~n ~cache_dir
+  | None, None, None -> (
       match select keys all with
       | Error msg ->
           prerr_endline ("repro: " ^ msg);
@@ -236,8 +293,18 @@ let main keys all quick jobs no_cache cache_dir check resume split_run
           in
           let t0 = Unix.gettimeofday () in
           let rows, stats =
-            Experiments.Registry.run_selection ~quick ~workers ?cache ~policy
-              ?journal experiments
+            try
+              Experiments.Registry.run_selection ~quick ~workers ?cache
+                ~policy ?journal ~allow_failures experiments
+            with Runner.Pool.Job_failed { key; reason } ->
+              (* Quarantine / exhausted retries: a distinct exit code so
+                 CI can tell "simulator results drifted" (2) from "a job
+                 would not complete" (3). *)
+              Printf.eprintf
+                "repro: job %s failed permanently: %s\n\
+                 repro: (use --allow-failures to downgrade to a skip)\n"
+                key reason;
+              exit 3
           in
           let bad = List.filter (fun r -> not r.Experiments.Report.ok) rows in
           Printf.printf "\n%d/%d checks hold the paper's shape\n"
@@ -260,6 +327,7 @@ let cmd =
     Term.(
       const main $ keys_arg $ all_arg $ quick_arg $ jobs_arg $ no_cache_arg
       $ cache_dir_arg $ check_arg $ resume_arg $ split_run_arg $ deadline_arg
-      $ max_attempts_arg $ selftest_shrink_arg $ replay_arg)
+      $ max_attempts_arg $ selftest_shrink_arg $ replay_arg
+      $ allow_failures_arg $ fuzz_arg $ fuzz_seed_arg)
 
 let () = exit (Cmd.eval cmd)

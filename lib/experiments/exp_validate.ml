@@ -1,0 +1,72 @@
+open Validate
+
+(* One report row per oracle family; every individual verdict is printed
+   so a CI failure is diagnosable from the log without rerunning. *)
+let family ~id ~label ~paper verdicts =
+  List.iter (fun v -> print_endline (Oracle.to_string v)) verdicts;
+  let n = List.length verdicts in
+  let bad = List.length (Oracle.failures verdicts) in
+  Report.row ~id ~label ~paper
+    ~measured:(Printf.sprintf "%d/%d verdicts hold" (n - bad) n)
+    ~ok:(bad = 0)
+
+(* A deliberately busy scenario for the end-state conservation audit:
+   warm-started queue, mixed CCAs, random loss, a blackout and a rate
+   step — every counter the conservation chain ties together is
+   exercised. *)
+let conservation_scenario () =
+  let open Sim in
+  let cfg =
+    Network.config
+      ~rate:(Link.Constant (Units.mbps 12.))
+      ~rm:(Units.ms 40.) ~seed:23 ~duration:12. ~buffer:90_000
+      ~initial_queue_bytes:40_000 ~monitor_period:0.05
+      ~faults:
+        (Fault.plan
+           [
+             Fault.Link_blackout { t0 = 3.0; t1 = 3.4 };
+             Fault.Rate_step { at = 6.0; rate = Units.mbps 8. };
+           ])
+      [
+        Network.flow (Reno.make ());
+        Network.flow ~start_time:1.0 ~loss_rate:0.005 (Cubic.make ());
+        Network.flow ~start_time:2.0
+          ~ack_policy:(Network.Aggregate { period = 0.004 })
+          (Vegas.make ());
+      ]
+  in
+  Conservation.verdicts ~scenario:"mixed-cca-faulted" (Network.run_config cfg)
+
+let run ~quick () =
+  let queueing_spec base =
+    if quick then { base with Queueing.horizon = 90.; warmup = 10. } else base
+  in
+  let rng label = Sim.Rng.stream (Sim.Rng.create ~seed:7) ~label in
+  let mm1 =
+    Queueing.verdicts ~rng:(rng "mm1") (queueing_spec Queueing.mm1_default)
+  in
+  let md1 =
+    Queueing.verdicts ~rng:(rng "md1") (queueing_spec Queueing.md1_default)
+  in
+  let fuzz_n = if quick then 4 else 12 in
+  let fuzz = Fuzz.run ~log:print_endline ~seed:101 ~n:fuzz_n () in
+  let fuzz_row =
+    Report.row ~id:"V5" ~label:"scenario fuzzing (all oracles per sample)"
+      ~paper:"0 violations"
+      ~measured:
+        (Printf.sprintf "%d scenarios, %d verdicts, %d violations"
+           fuzz.Fuzz.samples fuzz.Fuzz.verdicts_checked
+           (List.length fuzz.Fuzz.violations))
+      ~ok:(fuzz.Fuzz.violations = [])
+  in
+  [
+    family ~id:"V1" ~label:"M/M/1 + M/D/1 vs closed form"
+      ~paper:"W, L, rho within z=5 bands" (mm1 @ md1);
+    family ~id:"V2" ~label:"byte conservation (link + end-to-end)"
+      ~paper:"exact identities" (conservation_scenario ());
+    family ~id:"V3" ~label:"CCA equilibria (Reno law, Vegas/Copa queues)"
+      ~paper:"analytic equilibrium bands" (Equilibrium.all ());
+    family ~id:"V4" ~label:"metamorphic properties (6-scenario matrix)"
+      ~paper:"rescale exact; shift/permute/jitter bands" (Metamorphic.all ());
+    fuzz_row;
+  ]

@@ -1,0 +1,8 @@
+(** The [validate] experiment: every {!Validate} oracle family as one
+    report table — analytic queueing baselines, conservation identities,
+    CCA equilibrium laws, metamorphic properties, and a fixed-seed fuzz
+    smoke batch.  Prints each individual verdict so a CI failure names
+    the oracle, scenario, expected/observed and tolerance without a
+    rerun. *)
+
+val run : quick:bool -> unit -> Report.row list

@@ -91,9 +91,24 @@ let all =
     { key = "faults"; title = "E18: fault-scenario matrix (recovery + invariants)";
       run = (fun ~quick -> Exp_faults.run ~quick ());
       plan = planned Exp_faults.plan };
+    { key = "validate"; title = "V1-V5: validation oracles (queueing, conservation, equilibria, metamorphic, fuzz)";
+      run = (fun ~quick -> Exp_validate.run ~quick ());
+      plan = solo "validate" (fun ~quick -> Exp_validate.run ~quick ()) };
   ]
 
-let find key = List.find_opt (fun e -> e.key = key) all
+(* Experiments reachable by key but kept out of [all]: [selftest-fail]
+   exists so the exit-code contract (quarantine => non-zero exit) can be
+   asserted end to end against the real binary. *)
+let failing_run ~quick:_ : Report.row list =
+  failwith "selftest-fail: deliberate failure"
+
+let hidden =
+  [
+    { key = "selftest-fail"; title = "hidden: deliberately failing job";
+      run = failing_run; plan = solo "selftest-fail" failing_run };
+  ]
+
+let find key = List.find_opt (fun e -> e.key = key) (all @ hidden)
 
 let rec take_drop n = function
   | rest when n = 0 -> ([], rest)
@@ -103,17 +118,20 @@ let rec take_drop n = function
       (x :: taken, left)
 
 let run_selection ?(quick = false) ?(workers = 1) ?cache ?timeout ?policy
-    ?journal experiments =
+    ?journal ?(allow_failures = false) experiments =
   let plans = List.map (fun e -> (e, e.plan ~quick)) experiments in
   let jobs = List.concat_map (fun (_, p) -> p.jobs) plans in
   let results, stats =
     match (policy, journal) with
-    | None, None -> Runner.Pool.run ~workers ?timeout ?cache jobs
+    | None, None ->
+        let results, stats = Runner.Pool.run ~workers ?timeout ?cache jobs in
+        (List.map (fun (out, payload) -> (out, Some payload)) results, stats)
     | _ ->
         (* Supervised path: retries/quarantine/resume.  The merge layer
            needs every payload, so a quarantined job is a hard failure
-           here — but only after the rest of the matrix completed (and
-           cached), so a re-run only re-executes the stragglers. *)
+           here unless [allow_failures] — but only after the rest of the
+           matrix completed (and cached), so a re-run only re-executes
+           the stragglers. *)
         let policy =
           match policy with
           | Some p -> p
@@ -127,26 +145,43 @@ let run_selection ?(quick = false) ?(workers = 1) ?cache ?timeout ?policy
           List.map2
             (fun j outcome ->
               match outcome with
-              | Runner.Supervise.Done { out; payload } -> (out, payload)
+              | Runner.Supervise.Done { out; payload } -> (out, Some payload)
               | Runner.Supervise.Quarantined { reason; _ } ->
-                  raise
-                    (Runner.Pool.Job_failed
-                       { key = Runner.Job.key j; reason }))
+                  if allow_failures then begin
+                    Printf.eprintf "runner: job %s quarantined: %s\n"
+                      (Runner.Job.key j) reason;
+                    ("", None)
+                  end
+                  else
+                    raise
+                      (Runner.Pool.Job_failed
+                         { key = Runner.Job.key j; reason }))
             jobs outcomes
         in
         (results, stats)
   in
   (* Replay each experiment's captured stdout in job order, then merge and
      print its table: the byte stream is the same whether the jobs ran
-     serially, in parallel, or straight out of the cache. *)
+     serially, in parallel, or straight out of the cache.  An experiment
+     with a quarantined job (allow_failures only) is skipped whole: its
+     merge never sees a partial payload list. *)
   let rows, _ =
     List.fold_left
       (fun (acc, remaining) (e, p) ->
         let mine, rest = take_drop (List.length p.jobs) remaining in
-        List.iter (fun (out, _) -> print_string out) mine;
-        let rows = p.merge (List.map snd mine) in
-        Report.print_rows ~title:e.title rows;
-        (acc @ rows, rest))
+        if List.exists (fun (_, payload) -> payload = None) mine then begin
+          Printf.eprintf
+            "runner: experiment %s skipped (quarantined job)\n" e.key;
+          (acc, rest)
+        end
+        else begin
+          List.iter (fun (out, _) -> print_string out) mine;
+          let rows =
+            p.merge (List.filter_map snd mine)
+          in
+          Report.print_rows ~title:e.title rows;
+          (acc @ rows, rest)
+        end)
       ([], results) plans
   in
   (rows, stats)

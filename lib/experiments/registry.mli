@@ -29,6 +29,9 @@ type experiment = {
 val all : experiment list
 
 val find : string -> experiment option
+(** Looks up [all] plus the hidden [selftest-fail] experiment, whose only
+    job raises deliberately — the fixture behind the exit-code tests for
+    quarantined jobs. *)
 
 val run_selection :
   ?quick:bool ->
@@ -37,6 +40,7 @@ val run_selection :
   ?timeout:float ->
   ?policy:Runner.Supervise.policy ->
   ?journal:string ->
+  ?allow_failures:bool ->
   experiment list ->
   Report.row list * Runner.Pool.stats
 (** Run the given experiments through one job pool ([workers] defaults to
@@ -51,8 +55,11 @@ val run_selection :
     re-executed).  The merge layer needs every payload, so a quarantined
     job still raises — but only after the rest of the matrix completed
     and cached its results, so a subsequent run re-executes only the
-    stragglers.
-    @raise Runner.Pool.Job_failed if a job raises or keeps crashing. *)
+    stragglers.  With [allow_failures] a quarantine instead skips the
+    whole owning experiment (notice on stderr, no rows) and the run
+    completes; the quarantine still shows in the returned stats.
+    @raise Runner.Pool.Job_failed if a job raises or keeps crashing
+    (unless [allow_failures]). *)
 
 val run_all :
   ?quick:bool ->

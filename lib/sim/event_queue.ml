@@ -25,10 +25,14 @@ type t = {
   mutable size : int;
   mutable now : float;
   mutable next_seq : int;
+  mutable step_hook : (float -> unit) option;
 }
 
 let create ?(start = 0.) () =
-  { times = [||]; seqs = [||]; slots = [||]; size = 0; now = start; next_seq = 0 }
+  { times = [||]; seqs = [||]; slots = [||]; size = 0; now = start;
+    next_seq = 0; step_hook = None }
+
+let set_step_hook t f = t.step_hook <- f
 
 let now t = t.now
 let pending t = t.size
@@ -175,6 +179,12 @@ let step t =
     (* Skip the write (and the float box it allocates) when consecutive
        events share a timestamp. *)
     if t.times.(0) <> t.now then t.now <- t.times.(0);
+    (* Observer hook, pre-pop: it sees the clock already advanced and the
+       due event still pending.  A [None] branch here is vastly cheaper
+       than a recurring heap event — at the simulator's typical 6-14
+       pending events, one extra resident slot deepens every sift path
+       and costs ~10% wall; a predicted branch costs nothing. *)
+    (match t.step_hook with None -> () | Some f -> f t.now);
     let h = pop_root t in
     h.action ();
     true

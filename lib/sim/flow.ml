@@ -59,6 +59,12 @@ let dupack_threshold = 3
 let id t = t.id
 let cca t = t.cca
 let mss t = t.mss
+
+(* Every segment this sender emits is exactly [mss] bytes (see
+   [send_packet]), so the cumulative byte count is derivable from the
+   next sequence number — no separate counter to keep consistent. *)
+let sent_bytes t = t.next_seq * t.mss
+
 let delivered_bytes t = t.delivered
 let lost_bytes t = t.lost
 let inflight t = t.inflight

@@ -59,6 +59,12 @@ val receive_ack_one : t -> Packet.t -> unit
     delivery time is not consulted) but allocation-free — the hot path for
     immediate-ACK flows. *)
 
+val sent_bytes : t -> int
+(** Cumulative bytes handed to the transmit callback (every segment is
+    mss-sized, so this is [mss * packets sent]).  Anchors the end-to-end
+    conservation oracle: sent = delivered downstream + dropped along the
+    path + still in flight. *)
+
 val delivered_bytes : t -> int
 (** Cumulative bytes acknowledged. *)
 

@@ -289,6 +289,40 @@ let cellular_trace ~rng ~period ?(bytes = 1500) ~mean_rate ~burstiness () =
    mutable float field in the mixed record below (2 words per write). *)
 type fbox = { mutable v : float }
 
+(* Test-only accounting fault: bytes added to the link's delivered-bytes
+   counter per serviced packet, i.e. a deliberate off-by-[skew] in the
+   byte bookkeeping that the conservation oracles must catch.  A global
+   (like {!Network.set_split_run}) rather than per-link state so a
+   shrinker re-running candidate configs sees the same fault; never part
+   of the serialized state.  Defaults to 0 = accounting is exact. *)
+let accounting_skew = ref 0
+let set_accounting_skew n = accounting_skew := n
+
+(* Per-flow byte accounting, indexed by [flow + 1] so the phantom
+   initial-queue flow (id -1) gets slot 0.  Grown on demand: links are
+   built before the flow population is known. *)
+type per_flow = {
+  mutable offered : int array;
+  mutable delivered : int array;
+  mutable dropped : int array;
+}
+
+let pf_ensure pf idx =
+  let cap = Array.length pf.offered in
+  if idx >= cap then begin
+    let ncap = max (idx + 1) (max 8 (2 * cap)) in
+    let grow a =
+      let b = Array.make ncap 0 in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    pf.offered <- grow pf.offered;
+    pf.delivered <- grow pf.delivered;
+    pf.dropped <- grow pf.dropped
+  end
+
+let pf_get a idx = if idx < Array.length a then a.(idx) else 0
+
 type t = {
   eq : Event_queue.t;
   rate : rate;
@@ -306,6 +340,7 @@ type t = {
   mutable offered_bytes : int;
   mutable dropped_bytes : int;
   mutable delivered_bytes : int;
+  per_flow : per_flow;
   record_queue : bool;
   queue_series : Series.t;
 }
@@ -370,7 +405,10 @@ and on_complete t =
   let served = t.in_service in
   t.in_service <- Packet.dummy;
   t.queued_bytes <- t.queued_bytes - served.Packet.size;
-  t.delivered_bytes <- t.delivered_bytes + served.Packet.size;
+  t.delivered_bytes <- t.delivered_bytes + served.Packet.size + !accounting_skew;
+  let fi = served.Packet.flow + 1 in
+  pf_ensure t.per_flow fi;
+  t.per_flow.delivered.(fi) <- t.per_flow.delivered.(fi) + served.Packet.size;
   t.busy <- false;
   let now = Event_queue.now t.eq in
   (match t.aqm with
@@ -412,6 +450,7 @@ let create ~eq ~rate ?buffer ?ecn_threshold ?aqm ?(discipline = Fifo) ~record_qu
       offered_bytes = 0;
       dropped_bytes = 0;
       delivered_bytes = 0;
+      per_flow = { offered = [||]; delivered = [||]; dropped = [||] };
       record_queue;
       queue_series = Series.create ~name:"queue_bytes" ();
     }
@@ -421,6 +460,9 @@ let create ~eq ~rate ?buffer ?ecn_threshold ?aqm ?(discipline = Fifo) ~record_qu
 
 let enqueue t pkt =
   t.offered_bytes <- t.offered_bytes + pkt.Packet.size;
+  let fi = pkt.Packet.flow + 1 in
+  pf_ensure t.per_flow fi;
+  t.per_flow.offered.(fi) <- t.per_flow.offered.(fi) + pkt.Packet.size;
   let fits =
     match t.buffer with
     | None -> true
@@ -429,6 +471,7 @@ let enqueue t pkt =
   if not fits then begin
     t.drops <- t.drops + 1;
     t.dropped_bytes <- t.dropped_bytes + pkt.Packet.size;
+    t.per_flow.dropped.(fi) <- t.per_flow.dropped.(fi) + pkt.Packet.size;
     `Dropped
   end
   else begin
@@ -494,6 +537,24 @@ let fold_state buf t =
   Statebuf.i buf t.offered_bytes;
   Statebuf.i buf t.dropped_bytes;
   Statebuf.i buf t.delivered_bytes;
+  (* Fold per-flow counters only up to the last nonzero slot so the
+     encoding does not depend on array growth history. *)
+  let last_nonzero =
+    let last = ref (-1) in
+    let scan a =
+      Array.iteri (fun i v -> if v <> 0 && i > !last then last := i) a
+    in
+    scan t.per_flow.offered;
+    scan t.per_flow.delivered;
+    scan t.per_flow.dropped;
+    !last
+  in
+  Statebuf.i buf (last_nonzero + 1);
+  for i = 0 to last_nonzero do
+    Statebuf.i buf (pf_get t.per_flow.offered i);
+    Statebuf.i buf (pf_get t.per_flow.delivered i);
+    Statebuf.i buf (pf_get t.per_flow.dropped i)
+  done;
   fold_sched buf t.sched;
   Statebuf.opt Aqm.fold_state buf t.aqm;
   Statebuf.b buf t.record_queue;
@@ -510,6 +571,9 @@ let ce_marks t = t.ce_marks
 let offered_bytes t = t.offered_bytes
 let dropped_bytes t = t.dropped_bytes
 let delivered_bytes t = t.delivered_bytes
+let offered_bytes_for t ~flow = pf_get t.per_flow.offered (flow + 1)
+let delivered_bytes_for t ~flow = pf_get t.per_flow.delivered (flow + 1)
+let dropped_bytes_for t ~flow = pf_get t.per_flow.dropped (flow + 1)
 let queue_series t = t.queue_series
 let buffer t = t.buffer
 

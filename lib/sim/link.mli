@@ -97,6 +97,24 @@ val dropped_bytes : t -> int
     [offered_bytes = delivered_bytes + dropped_bytes + queued_bytes]. *)
 
 val delivered_bytes : t -> int
+
+val offered_bytes_for : t -> flow:int -> int
+val delivered_bytes_for : t -> flow:int -> int
+val dropped_bytes_for : t -> flow:int -> int
+(** Per-flow slices of the byte counters above (flow id [-1] is the
+    phantom initial-queue traffic).  Flows the link has never seen
+    report 0.  Per-link-per-flow conservation holds exactly:
+    [offered_for = delivered_for + dropped_for + bytes of that flow
+    still queued or in service]. *)
+
+val set_accounting_skew : int -> unit
+(** Test-only fault injection: add this many bytes to the {e aggregate}
+    delivered-bytes counter per serviced packet — a deliberate
+    accounting bug that the conservation oracles in [lib/validate] must
+    detect.  Global (not per link, not serialized), so a shrinker
+    re-running candidate configs reproduces the fault.  Callers must
+    reset it to 0; production code never touches it. *)
+
 val queue_series : t -> Series.t
 (** Occupancy trace (bytes); empty unless [record_queue] was set. *)
 

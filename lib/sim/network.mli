@@ -158,6 +158,22 @@ val jitters : t -> Jitter.t array
 val random_losses : t -> int array
 (** Packets dropped by the random-loss element, per flow. *)
 
+val received_bytes : t -> int array
+(** Bytes actually delivered to each flow's receiver (post-bottleneck,
+    post-propagation) — the far end of the data path's conservation
+    chain: sent = pre-link drops + link drops + in link + propagating +
+    received.  A fresh copy per call. *)
+
+val propagating_bytes : t -> int array
+(** Bytes per flow currently on the post-bottleneck propagation delay
+    line (out of the link, not yet at the receiver).  A fresh array per
+    call. *)
+
+val phantom_flow_id : int
+(** Flow id ([-1]) carried by the phantom packets that pre-load the
+    bottleneck ([initial_queue_bytes]) — the id under which the link's
+    per-flow byte counters account for that traffic. *)
+
 val delay_line_fallbacks : t -> int
 (** Total packets across all delay lines (data propagation and ACK
     return paths) that arrived with a non-monotone due time and fell
@@ -166,13 +182,25 @@ val delay_line_fallbacks : t -> int
     future policy) broke monotonicity and the simulator quietly paid
     the per-packet cost for those packets — results stay correct. *)
 
+val force_audit : t -> unit
+(** Run one invariant audit right now (a no-op without [monitor_period]).
+    Lets tests and oracles check the conservation identities at an
+    arbitrary instant instead of waiting for the next periodic tick. *)
+
 val invariant : t -> Invariant.t option
 (** The runtime invariant monitor; [None] unless [monitor_period] was
     given.  Checks run: event-clock monotonicity, link byte conservation
-    (offered + initial = delivered + dropped + queued), queue occupancy
+    (offered = delivered + dropped + queued; the phantom initial-queue
+    bytes enter through [offered] like any other traffic), queue occupancy
     against the (possibly resized) buffer, jitter-bound compliance
     (promotes {!Jitter.violations} to a reported check), per-flow
-    inflight accounting, and CCA-output sanity. *)
+    inflight accounting, CCA-output sanity, and the per-flow data-path
+    conservation chain: sender-to-link ("flow-conservation": sent =
+    pre-link drops + offered), end-to-end ("path-conservation": sent =
+    pre-link drops + link drops + in link + propagating + received) and
+    per-flow-slices-tile-the-aggregates ("link-flow-conservation").
+    All byte identities are exact, not approximate — any slack is an
+    accounting bug. *)
 
 val fault_data_drops : t -> int array
 (** Data packets consumed by the fault layer's bursty loss, per flow

@@ -36,6 +36,33 @@ let bits64 t =
 
 let split t = of_seed64 (bits64 t)
 
+(* FNV-1a, 64-bit: a simple, well-mixed string hash.  Only used to turn a
+   stream label into seed material, never for hash tables, so the weak
+   avalanche on short inputs is papered over by the splitmix64 finalizer
+   in [stream]. *)
+let fnv1a64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let stream t ~label =
+  (* Fold the parent's four state words and the label hash through
+     splitmix64 without touching the parent: reading [t.s0..s3] does not
+     advance the stream, so [stream] calls commute with each other and
+     with later draws from [t].  Distinct labels land in distinct
+     splitmix chains, giving statistically independent children. *)
+  let state = ref (fnv1a64 label) in
+  let fold w = state := Int64.logxor (splitmix64 state) w in
+  fold t.s0;
+  fold t.s1;
+  fold t.s2;
+  fold t.s3;
+  of_seed64 (splitmix64 state)
+
 let float t bound =
   (* 53 high bits -> uniform in [0,1). *)
   let u = Int64.shift_right_logical (bits64 t) 11 in
@@ -48,6 +75,13 @@ let int t bound =
   int_of_float (float t (float_of_int bound))
 
 let bool t ~p = float t 1. < p
+
+let exponential t ~mean =
+  if not (mean > 0.) then invalid_arg "Rng.exponential: mean must be positive";
+  (* Inverse CDF on the open interval: [float] returns values in [0,1),
+     so [1. -. u] is in (0,1] and the log is finite. *)
+  let u = float t 1. in
+  -.mean *. log (1. -. u)
 
 let fold_state buf t =
   Statebuf.i64 buf t.s0;

@@ -10,7 +10,20 @@ type t
 val create : seed:int -> t
 
 val split : t -> t
-(** A new generator statistically independent of the parent. *)
+(** A new generator statistically independent of the parent.  Splitting
+    {e advances} the parent, so the child depends on how many draws and
+    splits preceded it — use {!stream} when the derivation must not
+    depend on call order. *)
+
+val stream : t -> label:string -> t
+(** [stream t ~label] derives a generator from the parent's current
+    state and the label, {e without} advancing the parent.  Consequences:
+    deriving the same label twice from an untouched parent yields
+    identical generators; deriving distinct labels yields statistically
+    independent ones; and the order in which labels are derived is
+    irrelevant.  This is what reproducible fuzzing wants: scenario [i]'s
+    generator is a pure function of (master seed, label), no matter
+    which scenarios ran before it. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [0, bound). *)
@@ -22,6 +35,12 @@ val int : t -> int -> int
 
 val bool : t -> p:float -> bool
 (** Bernoulli draw: [true] with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed draw with the given mean (rate [1/mean]),
+    via inverse-CDF — one uniform per draw, always finite and
+    non-negative.  [mean] must be positive.  Used by the open-loop
+    Poisson traffic source ({!Source}). *)
 
 val bits64 : t -> int64
 

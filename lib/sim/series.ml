@@ -74,8 +74,15 @@ let index_from t q =
 
 (* Inclusive index range of samples with t0 <= time <= t1; empty iff
    lo > hi.  Both ends located by binary search, so the window queries
-   below are O(log n + k) in the window size k, not O(n). *)
-let window_range t ~t0 ~t1 = (index_from t t0, index_at t t1)
+   below are O(log n + k) in the window size k, not O(n).  NaN bounds
+   would silently break the binary-search invariants (every comparison
+   is false), yielding an arbitrary non-empty range — reject them here
+   so all four window queries share the check. *)
+let window_range t ~t0 ~t1 =
+  if Float.is_nan t0 || Float.is_nan t1 then
+    invalid_arg
+      (Printf.sprintf "Series.window(%s): nan window bound" t.series_name);
+  (index_from t t0, index_at t t1)
 
 let window t ~t0 ~t1 =
   let lo, hi = window_range t ~t0 ~t1 in

@@ -37,20 +37,33 @@ val window : t -> t0:float -> t1:float -> (float * float) list
 
     All four window queries locate both window ends by binary search, so
     they cost O(log n + k) for a window of k samples — repeated queries
-    over a long run don't rescan the whole series. *)
+    over a long run don't rescan the whole series.
+
+    Degenerate windows are well-defined, not caller-discipline: a window
+    containing no samples — whether it falls between two samples, lies
+    entirely outside the recorded range, or is inverted ([t1 < t0]) —
+    yields the empty result ([[]], [[||]], [None], [None] respectively).
+    A point window [t0 = t1] that hits a sample time exactly yields just
+    the samples at that time.  A NaN bound raises [Invalid_argument]
+    from all four queries (it would otherwise select an arbitrary
+    range). *)
 
 val window_values : t -> t0:float -> t1:float -> float array
 (** Values of the samples in the window, in time order (a single
-    [Array.sub] of the backing store — no intermediate list). *)
+    [Array.sub] of the backing store — no intermediate list).  Empty
+    array on a window containing no samples; see {!window} for the
+    degenerate-window contract. *)
 
 val min_max_in : t -> t0:float -> t1:float -> (float * float) option
 (** Extrema of samples within the window; [None] if no sample falls in
-    it.  Folds in place over the backing arrays. *)
+    it (including inverted windows — see {!window}).  Folds in place
+    over the backing arrays. *)
 
 val mean_in : t -> t0:float -> t1:float -> float option
-(** Mean of samples within the window; [None] if no sample falls in it.
-    Numerically identical to [Stats.mean (window_values t ~t0 ~t1)]
-    (same left-to-right summation order). *)
+(** Mean of samples within the window; [None] if no sample falls in it
+    (including inverted windows — see {!window}).  Numerically identical
+    to [Stats.mean (window_values t ~t0 ~t1)] (same left-to-right
+    summation order). *)
 
 val integral : t -> t0:float -> t1:float -> float
 (** Integral of the step function over [t0, t1].  Uses the last sample at or

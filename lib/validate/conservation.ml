@@ -1,0 +1,103 @@
+let fi = float_of_int
+
+let verdicts ~scenario net =
+  let open Sim in
+  let cfg = Network.config_of net in
+  let link = Network.link net in
+  let flows = Network.flows net in
+  let random_losses = Network.random_losses net in
+  let fault_drops = Network.fault_data_drops net in
+  let received = Network.received_bytes net in
+  let propagating = Network.propagating_bytes net in
+  let offered = Link.offered_bytes link
+  and delivered = Link.delivered_bytes link
+  and dropped = Link.dropped_bytes link
+  and queued = Link.queued_bytes link in
+  (* [offered] includes the phantom warm-start bytes (they enter through
+     [Link.enqueue]), so the identity needs no initial-queue term. *)
+  let link_verdict =
+    Oracle.exact ~oracle:"link-conservation" ~scenario
+      ~expected:(fi offered)
+      ~observed:(fi (delivered + dropped + queued))
+      ~detail:
+        (Printf.sprintf "offered=%d initial=%d delivered=%d dropped=%d queued=%d"
+           offered cfg.Network.initial_queue_bytes delivered dropped queued)
+      ()
+  in
+  let phantom = Network.phantom_flow_id in
+  let sum_offered = ref (Link.offered_bytes_for link ~flow:phantom)
+  and sum_delivered = ref (Link.delivered_bytes_for link ~flow:phantom)
+  and sum_dropped = ref (Link.dropped_bytes_for link ~flow:phantom) in
+  let per_flow =
+    Array.to_list
+      (Array.mapi
+         (fun i f ->
+           let mss = Flow.mss f in
+           let sent = Flow.sent_bytes f in
+           let prelink =
+             mss
+             * (random_losses.(i)
+               + if i < Array.length fault_drops then fault_drops.(i) else 0)
+           in
+           let offered_i = Link.offered_bytes_for link ~flow:i
+           and delivered_i = Link.delivered_bytes_for link ~flow:i
+           and dropped_i = Link.dropped_bytes_for link ~flow:i in
+           sum_offered := !sum_offered + offered_i;
+           sum_delivered := !sum_delivered + delivered_i;
+           sum_dropped := !sum_dropped + dropped_i;
+           let in_link = offered_i - delivered_i - dropped_i in
+           let scn = Printf.sprintf "%s/flow%d" scenario i in
+           [
+             Oracle.exact ~oracle:"flow-conservation" ~scenario:scn
+               ~expected:(fi sent)
+               ~observed:(fi (prelink + offered_i))
+               ~detail:
+                 (Printf.sprintf "sent=%d prelink=%d offered=%d" sent prelink
+                    offered_i)
+               ();
+             (* End to end: every sent byte is a counted drop, inside
+                the link, on the propagation line, or at the receiver.
+                [propagating] comes from the delay line's own occupancy
+                — an independent witness, not derived from the link
+                counters — so this genuinely cross-checks the receiver
+                counters against the link's view. *)
+             Oracle.exact ~oracle:"path-conservation" ~scenario:scn
+               ~expected:(fi sent)
+               ~observed:
+                 (fi
+                    (prelink + dropped_i + in_link + propagating.(i)
+                   + received.(i)))
+               ~detail:
+                 (Printf.sprintf
+                    "sent=%d prelink=%d link-drops=%d in-link=%d \
+                     propagating=%d received=%d"
+                    sent prelink dropped_i in_link propagating.(i)
+                    received.(i))
+               ();
+           ])
+         flows)
+    |> List.concat
+  in
+  let tiling =
+    Oracle.exact ~oracle:"link-flow-conservation" ~scenario
+      ~expected:(fi (offered + delivered + dropped))
+      ~observed:(fi (!sum_offered + !sum_delivered + !sum_dropped))
+      ~detail:
+        (Printf.sprintf
+           "aggregates offered=%d delivered=%d dropped=%d; per-flow sums %d/%d/%d"
+           offered delivered dropped !sum_offered !sum_delivered !sum_dropped)
+      ()
+  in
+  let monitor =
+    match Network.invariant net with
+    | None -> []
+    | Some inv ->
+        [
+          Oracle.check ~oracle:"invariant-violations" ~scenario ~expected:0.
+            ~observed:(fi (Invariant.count inv))
+            ~tolerance:0.
+            ~detail:(Invariant.summary inv)
+            ();
+        ]
+  in
+  (link_verdict :: tiling :: per_flow) @ monitor

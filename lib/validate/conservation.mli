@@ -1,0 +1,17 @@
+(** Byte-conservation oracles over a finished {!Sim.Network} run.
+
+    These are exact identities, not statistical bands: every packet the
+    senders emit must be accounted for as dropped before the link (random
+    loss, fault bursts), dropped at the link, still inside the link,
+    still propagating, or delivered to a receiver — per link, per flow,
+    and end to end.  They complement the periodic {!Sim.Invariant}
+    monitor by judging the final state of any run, monitored or not, and
+    by reporting through {!Oracle.verdict} records. *)
+
+val verdicts : scenario:string -> Sim.Network.t -> Oracle.verdict list
+(** Judge a network that has been run (or advanced): aggregate link
+    conservation (offered = delivered + dropped + queued — the phantom
+    initial-queue bytes enter through [offered] like any other traffic),
+    per-flow tiling of the link counters, per-flow sender-to-link and
+    end-to-end path conservation, and — when the run carried an
+    invariant monitor — a zero-violations verdict. *)

@@ -459,6 +459,36 @@ let test_supervise_backoff_deterministic () =
     (Runner.Supervise.backoff p ~key:"k" ~attempt:30 <= p.backoff_max)
 
 (* ------------------------------------------------------------------ *)
+(* repro exit codes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The driver's failure contract, checked end to end on the real binary:
+   a quarantined (retry-exhausted) job must not exit 0 — CI green with a
+   silently skipped experiment is the worst failure mode a result-
+   reproduction repo can have.  [--allow-failures] is the explicit
+   opt-out: the experiment is skipped with a notice and the rest of the
+   matrix still reports. *)
+
+let repro_exe = "../bin/repro.exe"
+
+let run_repro args =
+  Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" repro_exe args)
+
+let test_repro_quarantine_exits_nonzero () =
+  if not (Sys.file_exists repro_exe) then
+    Alcotest.skip ()
+  else
+    Alcotest.(check int) "quarantined job exits 3" 3
+      (run_repro "selftest-fail --no-cache --max-attempts 2")
+
+let test_repro_allow_failures_downgrades () =
+  if not (Sys.file_exists repro_exe) then
+    Alcotest.skip ()
+  else
+    Alcotest.(check int) "--allow-failures exits 0" 0
+      (run_repro "selftest-fail --no-cache --max-attempts 2 --allow-failures")
+
+(* ------------------------------------------------------------------ *)
 (* Registry plans                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -557,5 +587,12 @@ let () =
           Alcotest.test_case "plans cover all experiments" `Quick
             test_registry_plans_cover_all;
           Alcotest.test_case "job keys unique" `Quick test_registry_job_keys_unique;
+        ] );
+      ( "repro-exit-codes",
+        [
+          Alcotest.test_case "quarantine exits nonzero" `Quick
+            test_repro_quarantine_exits_nonzero;
+          Alcotest.test_case "allow-failures downgrades" `Quick
+            test_repro_allow_failures_downgrades;
         ] );
     ]

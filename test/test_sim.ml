@@ -228,6 +228,53 @@ let test_rng_split_independent () =
   done;
   Alcotest.(check bool) "children differ" false !same
 
+let test_rng_stream_order_independent () =
+  (* The fuzzer's reproducibility contract: scenario i's generator is a
+     pure function of (seed, label) — deriving other labels first, in any
+     order, must not change it, and deriving must not advance the parent. *)
+  let draws g = Array.init 8 (fun _ -> Sim.Rng.float g 1.) in
+  let a = Sim.Rng.create ~seed:42 in
+  let direct = draws (Sim.Rng.stream a ~label:"scenario-5") in
+  let b = Sim.Rng.create ~seed:42 in
+  ignore (draws (Sim.Rng.stream b ~label:"scenario-9"));
+  ignore (draws (Sim.Rng.stream b ~label:"scenario-0"));
+  let after_others = draws (Sim.Rng.stream b ~label:"scenario-5") in
+  Alcotest.(check (array (float 0.))) "label alone determines the stream"
+    direct after_others;
+  (* The parent is untouched: its own draws match a fresh parent's. *)
+  let fresh = Sim.Rng.create ~seed:42 in
+  Alcotest.(check (array (float 0.))) "parent not advanced by stream"
+    (draws fresh) (draws b)
+
+let test_rng_stream_labels_decorrelated () =
+  let a = Sim.Rng.stream (Sim.Rng.create ~seed:42) ~label:"scenario-1" in
+  let b = Sim.Rng.stream (Sim.Rng.create ~seed:42) ~label:"scenario-2" in
+  let n = 10_000 in
+  let matches = ref 0 and corr = ref 0. in
+  for _ = 1 to n do
+    let x = Sim.Rng.float a 1. and y = Sim.Rng.float b 1. in
+    if x = y then incr matches;
+    corr := !corr +. ((x -. 0.5) *. (y -. 0.5))
+  done;
+  Alcotest.(check int) "no identical draws" 0 !matches;
+  (* Sample correlation of uniforms: stderr ~ 1/(12 sqrt n) ~ 8.3e-4. *)
+  Alcotest.(check bool) "uncorrelated" true
+    (Float.abs (!corr /. float_of_int n) < 5e-3)
+
+let test_rng_exponential_mean () =
+  let r = Sim.Rng.create ~seed:11 in
+  let n = 100_000 and mean = 0.02 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    let x = Sim.Rng.exponential r ~mean in
+    Alcotest.(check bool) "non-negative finite" true (Float.is_finite x && x >= 0.);
+    sum := !sum +. x
+  done;
+  let m = !sum /. float_of_int n in
+  (* stderr = mean/sqrt(n) ~ 6.3e-5; allow 5 sigma. *)
+  Alcotest.(check bool) "mean within band" true
+    (Float.abs (m -. mean) < 5. *. mean /. sqrt (float_of_int n))
+
 let prop_rng_float_range =
   QCheck.Test.make ~name:"rng float stays in [0,bound)" ~count:100
     QCheck.(pair small_int (float_range 0.001 1000.))
@@ -369,6 +416,40 @@ let test_series_window () =
   Alcotest.(check (option (pair (float 1e-9) (float 1e-9))))
     "min max" (Some (2., 3.))
     (Sim.Series.min_max_in s ~t0:2. ~t1:3.)
+
+let test_series_degenerate_windows () =
+  let s = mk_series [ (1., 1.); (2., 2.); (3., 3.); (4., 4.) ] in
+  let sampleless = [ (2.2, 2.8); (10., 20.); (3., 2.) ] in
+  List.iter
+    (fun (t0, t1) ->
+      let tag = Printf.sprintf "[%g,%g]" t0 t1 in
+      Alcotest.(check int) (tag ^ " window empty") 0
+        (List.length (Sim.Series.window s ~t0 ~t1));
+      Alcotest.(check int) (tag ^ " values empty") 0
+        (Array.length (Sim.Series.window_values s ~t0 ~t1));
+      Alcotest.(check bool) (tag ^ " no extrema") true
+        (Sim.Series.min_max_in s ~t0 ~t1 = None);
+      Alcotest.(check bool) (tag ^ " no mean") true
+        (Sim.Series.mean_in s ~t0 ~t1 = None))
+    sampleless;
+  (* A point window that hits a sample time exactly yields that sample. *)
+  Alcotest.(check int) "point window hit" 1
+    (List.length (Sim.Series.window s ~t0:3. ~t1:3.));
+  check_float "point window mean" 3.
+    (Option.get (Sim.Series.mean_in s ~t0:3. ~t1:3.));
+  (* NaN bounds raise rather than select an arbitrary range. *)
+  let raises f = match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "nan t0 window" true
+    (raises (fun () -> Sim.Series.window s ~t0:Float.nan ~t1:3.));
+  Alcotest.(check bool) "nan t1 values" true
+    (raises (fun () -> Sim.Series.window_values s ~t0:1. ~t1:Float.nan));
+  Alcotest.(check bool) "nan min_max" true
+    (raises (fun () -> Sim.Series.min_max_in s ~t0:Float.nan ~t1:Float.nan));
+  Alcotest.(check bool) "nan mean" true
+    (raises (fun () -> Sim.Series.mean_in s ~t0:Float.nan ~t1:2.))
 
 let test_series_resample () =
   let s = mk_series [ (0., 5.); (1., 10.) ] in
@@ -1720,6 +1801,55 @@ let test_delay_line_one_pending_event () =
   Alcotest.(check int) "drained" 0 (Sim.Delay_line.length line)
 
 (* ------------------------------------------------------------------ *)
+(* Source                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_source_poisson_count () =
+  (* A Poisson(rate) source over [0, T] generates ~rate*T arrivals;
+     5 sigma = 5 sqrt(rate*T) bounds the count with false-positive
+     probability < 1e-6. *)
+  let eq = Sim.Event_queue.create () in
+  let rng = Sim.Rng.create ~seed:5 in
+  let rate = 500. and horizon = 20. in
+  let src =
+    Sim.Source.create ~eq ~rng ~arrivals:(Sim.Source.Poisson { rate })
+      ~sizes:(Sim.Source.Fixed 1000) ~until:horizon
+      ~send:(fun _ -> ())
+      ()
+  in
+  Sim.Event_queue.run_until eq horizon;
+  let expect = rate *. horizon in
+  let slack = 5. *. sqrt expect in
+  let n = float_of_int (Sim.Source.sent_packets src) in
+  Alcotest.(check bool)
+    (Printf.sprintf "count %g within %g +/- %g" n expect slack)
+    true
+    (Float.abs (n -. expect) <= slack);
+  Alcotest.(check int) "bytes = 1000 * packets"
+    (1000 * Sim.Source.sent_packets src)
+    (Sim.Source.sent_bytes src)
+
+(* ------------------------------------------------------------------ *)
+(* Event-queue step hook                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_eq_step_hook_observes_every_step () =
+  let eq = Sim.Event_queue.create () in
+  let seen = ref [] in
+  Sim.Event_queue.set_step_hook eq (Some (fun now -> seen := now :: !seen));
+  List.iter
+    (fun t -> Sim.Event_queue.schedule eq ~at:t (fun () -> ()))
+    [ 3.; 1.; 2. ];
+  Sim.Event_queue.run eq;
+  Alcotest.(check (list (float 0.))) "hook saw the advanced clock, in order"
+    [ 1.; 2.; 3. ] (List.rev !seen);
+  (* Removing the hook stops observation; no stale closure fires. *)
+  Sim.Event_queue.set_step_hook eq None;
+  Sim.Event_queue.schedule eq ~at:4. (fun () -> ());
+  Sim.Event_queue.run eq;
+  Alcotest.(check int) "no observation after removal" 3 (List.length !seen)
+
+(* ------------------------------------------------------------------ *)
 (* Hot-path resource envelope                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1832,6 +1962,8 @@ let () =
           Alcotest.test_case "handle reschedule" `Quick test_eq_handle_reschedule;
           Alcotest.test_case "handle cancel" `Quick test_eq_handle_cancel;
           Alcotest.test_case "handle fifo ties" `Quick test_eq_handle_fifo_ties;
+          Alcotest.test_case "step hook" `Quick
+            test_eq_step_hook_observes_every_step;
           qt prop_eq_stable_order;
         ] );
       ( "delay_line",
@@ -1842,11 +1974,18 @@ let () =
             test_delay_line_one_pending_event;
           qt prop_delay_line_matches_naive;
         ] );
+      ( "source",
+        [ Alcotest.test_case "poisson count" `Quick test_source_poisson_count ] );
       ( "rng",
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
           Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "stream order independent" `Quick
+            test_rng_stream_order_independent;
+          Alcotest.test_case "stream labels decorrelated" `Quick
+            test_rng_stream_labels_decorrelated;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
           Alcotest.test_case "bool probability" `Quick test_rng_bool_probability;
           qt prop_rng_float_range;
         ] );
@@ -1871,6 +2010,8 @@ let () =
           Alcotest.test_case "rejects decreasing" `Quick test_series_rejects_decreasing;
           Alcotest.test_case "integral" `Quick test_series_integral;
           Alcotest.test_case "window" `Quick test_series_window;
+          Alcotest.test_case "degenerate windows" `Quick
+            test_series_degenerate_windows;
           Alcotest.test_case "resample" `Quick test_series_resample;
           Alcotest.test_case "map" `Quick test_series_map;
           Alcotest.test_case "first last" `Quick test_series_first_last;
