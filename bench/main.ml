@@ -457,6 +457,99 @@ let oracle_overhead () =
   let overhead = Float.max 0. ((!t_mon /. !t_plain) -. 1.) in
   (pps_plain, pps_mon, overhead)
 
+(* Flow-churn throughput: completed flows per wall-clock second on the
+   census workload shape (Poisson arrivals over 60% of the horizon,
+   Pareto(1.5) sizes, one shared bottleneck), measured under both
+   scheduler backends at a small and a large population.  At 8 flows the
+   backends should be comparable — the wheel must not tax the common
+   case; at the census population the heap pays O(log n) per re-arm
+   against the wheel's O(1), which is the whole point of the wheel.
+   The CI gate compares the measured wheel/heap ratio at the large
+   population against the recorded baseline ratio: like the other
+   gates, a ratio from one process is robust to CI machine noise where
+   absolute flows/sec are not.  --quick runs a 20k population whose
+   heap is two sift levels shallower, so its recorded ratio is lower
+   than the full 100k one. *)
+let churn_baseline_wheel_over_heap_big = if quick then 2.6 else 3.2
+let churn_baseline_commit = "main@2a06121"
+
+let churn_config ~backend ~n ~seed =
+  let rate = Sim.Units.mbps 480. in
+  let xm = 15_000. in
+  let mean_size = 3. *. xm in
+  let duration =
+    Float.max 2. (float_of_int n *. mean_size /. (0.7 *. rate *. 0.6))
+  in
+  let master = Sim.Rng.create ~seed in
+  let arrivals = Sim.Rng.stream master ~label:"bench/churn/arrivals" in
+  let sizes = Sim.Rng.stream master ~label:"bench/churn/sizes" in
+  let window = 0.6 *. duration in
+  let mean_gap = window /. float_of_int n in
+  let t = ref 0. in
+  let specs =
+    List.init n (fun _ ->
+        t := !t +. Sim.Rng.exponential arrivals ~mean:mean_gap;
+        let size =
+          min 10_000_000
+            (int_of_float (Sim.Rng.pareto sizes ~alpha:1.5 ~xm))
+        in
+        Sim.Network.flow ~start_time:(Float.min !t window)
+          ~record_series:false ~size_bytes:size (Reno.make ()))
+  in
+  Sim.Network.config ~rate:(Sim.Link.Constant rate) ~rm:0.02 ~seed ~duration
+    ~backend specs
+
+let churn_rate ~backend ~n ~reps =
+  let completed = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for r = 1 to reps do
+    let net = Sim.Network.run_config (churn_config ~backend ~n ~seed:(42 + r)) in
+    Array.iter
+      (fun f -> if Sim.Flow.completed f then incr completed)
+      (Sim.Network.flows net)
+  done;
+  float_of_int !completed /. (Unix.gettimeofday () -. t0)
+
+let churn_bench () =
+  let n_big = if quick then 20_000 else 100_000 in
+  let reps_small = if quick then 500 else 1_500 in
+  let rounds = if quick then 3 else 5 in
+  let wheel = Sim.Event_queue.Wheel and heap = Sim.Event_queue.Heap in
+  (* Warm code paths and heap sizing, then interleave wheel/heap within
+     each best-of round — same rationale as [snapshot_overhead]: clock
+     drift and background load hit both backends equally. *)
+  ignore (churn_rate ~backend:wheel ~n:8 ~reps:2);
+  ignore (churn_rate ~backend:heap ~n:8 ~reps:2);
+  let best_pair fw fh =
+    let w = ref 0. and h = ref 0. in
+    for _ = 1 to rounds do
+      Gc.full_major ();
+      w := Float.max !w (fw ());
+      Gc.full_major ();
+      h := Float.max !h (fh ())
+    done;
+    (!w, !h)
+  in
+  let fps_wheel_small, fps_heap_small =
+    best_pair
+      (fun () -> churn_rate ~backend:wheel ~n:8 ~reps:reps_small)
+      (fun () -> churn_rate ~backend:heap ~n:8 ~reps:reps_small)
+  in
+  let fps_wheel_big, fps_heap_big =
+    best_pair
+      (fun () -> churn_rate ~backend:wheel ~n:n_big ~reps:1)
+      (fun () -> churn_rate ~backend:heap ~n:n_big ~reps:1)
+  in
+  Printf.printf "\n== Flow churn (completed flows/sec, wheel vs heap) ==\n";
+  Printf.printf "%-34s %12s %12s %8s\n" "population" "heap" "wheel" "ratio";
+  Printf.printf "%-34s %12.0f %12.0f %7.2fx\n" "8 flows" fps_heap_small
+    fps_wheel_small (fps_wheel_small /. fps_heap_small);
+  Printf.printf "%-34s %12.0f %12.0f %7.2fx\n"
+    (Printf.sprintf "%d flows" n_big)
+    fps_heap_big fps_wheel_big
+    (fps_wheel_big /. fps_heap_big);
+  (n_big, fps_wheel_small, fps_heap_small, fps_wheel_big, fps_heap_big)
+
 let macro_bench () =
   let cfg = macro_config () in
   (* Warm up: code paths, minor heap sizing, series growth. *)
@@ -501,6 +594,11 @@ let macro_bench () =
   Printf.printf "%-34s %12.0f %12.0f %6.1f%%\n"
     (Printf.sprintf "invariant audit every %gs: pkts/sec" monitor_period)
     pps_unmon pps_mon (oracle_frac *. 100.);
+  let churn_n, fps_wheel_small, fps_heap_small, fps_wheel_big, fps_heap_big =
+    churn_bench ()
+  in
+  let wheel_over_heap_small = fps_wheel_small /. fps_heap_small in
+  let wheel_over_heap_big = fps_wheel_big /. fps_heap_big in
   let json = "BENCH_simulator.json" in
   write_bench_json json
     [
@@ -531,6 +629,17 @@ let macro_bench () =
       ("packets_per_sec_unmonitored", Printf.sprintf "%.1f" pps_unmon);
       ("packets_per_sec_monitored", Printf.sprintf "%.1f" pps_mon);
       ("oracle_overhead_frac", Printf.sprintf "%.4f" oracle_frac);
+      ("churn_population", string_of_int churn_n);
+      ("flows_per_sec", Printf.sprintf "%.1f" fps_wheel_big);
+      ("flows_per_sec_wheel_8", Printf.sprintf "%.1f" fps_wheel_small);
+      ("flows_per_sec_heap_8", Printf.sprintf "%.1f" fps_heap_small);
+      ("flows_per_sec_wheel_big", Printf.sprintf "%.1f" fps_wheel_big);
+      ("flows_per_sec_heap_big", Printf.sprintf "%.1f" fps_heap_big);
+      ("wheel_over_heap_small", Printf.sprintf "%.3f" wheel_over_heap_small);
+      ("wheel_over_heap_big", Printf.sprintf "%.3f" wheel_over_heap_big);
+      ( "baseline_wheel_over_heap_big",
+        Printf.sprintf "%.3f" churn_baseline_wheel_over_heap_big );
+      ("churn_baseline_commit", Printf.sprintf "%S" churn_baseline_commit);
     ];
   Printf.printf "wrote %s\n" json
 

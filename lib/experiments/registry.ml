@@ -91,6 +91,9 @@ let all =
     { key = "faults"; title = "E18: fault-scenario matrix (recovery + invariants)";
       run = (fun ~quick -> Exp_faults.run ~quick ());
       plan = planned Exp_faults.plan };
+    { key = "census"; title = "E19: starvation census over a churning flow population";
+      run = (fun ~quick -> Exp_census.run ~quick ());
+      plan = planned Exp_census.plan };
     { key = "validate"; title = "V1-V5: validation oracles (queueing, conservation, equilibria, metamorphic, fuzz)";
       run = (fun ~quick -> Exp_validate.run ~quick ());
       plan = solo "validate" (fun ~quick -> Exp_validate.run ~quick ()) };

@@ -10,17 +10,50 @@
     - {!schedule} takes a fresh thunk per event — convenient, but each call
       allocates, which adds up to several heap words per simulated packet.
     - {!schedule_handle} re-arms a preallocated {!handle} whose callback was
-      installed once.  The heap stores times in an unboxed float array, so
+      installed once.  Containers store times in unboxed float arrays, so
       re-arming a handle allocates nothing; handles are also cancellable and
       reschedulable, so superseded timers no longer pile dead closures into
-      the heap.  This is the hot path used by {!Link}, {!Flow} and
-      {!Delay_line}. *)
+      the queue.  This is the hot path used by {!Link}, {!Flow} and
+      {!Delay_line}.
+
+    Two backends share this interface with identical pop order:
+
+    - {!Wheel} (the default) files near-future events in a hierarchical
+      {!Timer_wheel} (O(1) arm/cancel/re-arm — the operation mix of
+      pacing, RTO, delayed-ACK and delay-line timers), keeps entries
+      whose tick the cursor has reached in a small "due" binary heap,
+      and sends events beyond the wheel's ~9.5-simulated-hour horizon to
+      an overflow heap.
+    - {!Heap} routes everything through the overflow binary heap
+      (O(log n) arm/cancel) — the pre-wheel scheduler, kept as the
+      comparison baseline and for arbitrarily long timelines.
+
+    Both backends consume one global FIFO sequence number per insertion
+    and compare containers exactly (integer tick space between wheel and
+    overflow, (time, seq) between heap roots), so a given schedule trace
+    pops in the same order under either backend, byte for byte. *)
 
 type t
 
-val create : ?start:float -> unit -> t
+type backend =
+  | Heap  (** single binary heap — the pre-wheel scheduler *)
+  | Wheel  (** hierarchical timing wheel + due/overflow heaps (default) *)
+
+val create : ?backend:backend -> ?wheel_threshold:int -> ?start:float -> unit -> t
 (** [start] (default 0) sets the initial clock — used by constructions that
-    continue a flow on a new network sharing the old timeline. *)
+    continue a flow on a new network sharing the old timeline.
+    [backend] defaults to {!Wheel}.
+
+    [wheel_threshold] (default 256) only applies to the {!Wheel} backend:
+    while fewer events are pending, insertions route through the overflow
+    heap — a depth-8 heap beats the wheel's cascade constants, so a 2-flow
+    run costs the same as the pure-heap backend, and the wheel itself is
+    only allocated once the queue outgrows the threshold.  Placement never
+    affects pop order (containers are merged by exact (time, seq)); pass
+    [0] to force every insertion through the wheel, as the equivalence
+    tests do. *)
+
+val backend : t -> backend
 
 val now : t -> float
 (** Current simulation time. *)

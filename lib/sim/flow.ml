@@ -1,13 +1,81 @@
-(* Hot mutable floats live in their own all-float record: OCaml stores
-   such records flat, so assigning a field is an unboxed store instead
-   of a fresh 2-word float box per write (which is what a mutable float
-   field in a mixed record costs). *)
-type hot = {
-  mutable next_send_time : float;
-  mutable last_progress : float; (* last time an ACK arrived or a send began *)
-  mutable srtt : float;
-  mutable rttvar : float;
-}
+(* Per-flow hot mutable floats live in structure-of-arrays tables shared
+   by every flow of a simulation: OCaml float arrays are flat, so
+   assigning an element is an unboxed store (the same discipline the
+   packet rings use), and a population of flows keeps its hot state in a
+   handful of contiguous arrays instead of one boxed record per flow —
+   which is what lets a census run 10^5 concurrent flows without the
+   per-flow header/padding overhead dominating memory. *)
+
+module Table = struct
+  type t = {
+    mutable cap : int;
+    mutable n : int;
+    mutable next_send_time : float array;
+    mutable last_progress : float array; (* last ACK arrival or send start *)
+    mutable srtt : float array;
+    mutable rttvar : float array;
+    mutable done_time : float array; (* completion time; nan = not done *)
+    (* Scratch event records passed to the CCA: one allocation per table
+       instead of one per flow (let alone per ACK / send).  Safe to share
+       across flows because event processing is synchronous — a flow's
+       ACK/send handler never reenters another flow's, and the Cca
+       contract forbids retaining the record beyond the callback. *)
+    ack_scratch : Cca.ack_info;
+    send_scratch : Cca.send_info;
+  }
+
+  let create ?(capacity = 16) () =
+    let capacity = max 1 capacity in
+    {
+      cap = capacity;
+      n = 0;
+      next_send_time = Array.make capacity 0.;
+      last_progress = Array.make capacity 0.;
+      srtt = Array.make capacity 0.;
+      rttvar = Array.make capacity 0.;
+      done_time = Array.make capacity nan;
+      ack_scratch =
+        {
+          Cca.now = 0.;
+          rtt = 0.;
+          acked_bytes = 0;
+          sent_time = 0.;
+          delivered = 0;
+          delivered_now = 0;
+          inflight = 0;
+          app_limited = false;
+          ecn_ce = false;
+        };
+      send_scratch = { Cca.now = 0.; sent_bytes = 0; inflight = 0 };
+    }
+
+  let flows t = t.n
+
+  let grow t =
+    let cap = 2 * t.cap in
+    let extend a fill =
+      let b = Array.make cap fill in
+      Array.blit a 0 b 0 t.n;
+      b
+    in
+    t.next_send_time <- extend t.next_send_time 0.;
+    t.last_progress <- extend t.last_progress 0.;
+    t.srtt <- extend t.srtt 0.;
+    t.rttvar <- extend t.rttvar 0.;
+    t.done_time <- extend t.done_time nan;
+    t.cap <- cap
+
+  let alloc t ~start_time =
+    if t.n = t.cap then grow t;
+    let ix = t.n in
+    t.n <- ix + 1;
+    t.next_send_time.(ix) <- 0.;
+    t.last_progress.(ix) <- start_time;
+    t.srtt.(ix) <- 0.;
+    t.rttvar.(ix) <- 0.;
+    t.done_time.(ix) <- nan;
+    ix
+end
 
 type t = {
   id : int;
@@ -19,13 +87,19 @@ type t = {
   stop_time : float option;
   min_rto : float;
   initial_pacing : float option;
+  tbl : Table.t;
+  ix : int; (* this flow's row in [tbl] *)
+  size_bytes : int option; (* application bytes to send; None = unbounded *)
+  seg_limit : int; (* first seq not to send; max_int when unbounded *)
+  on_complete : (unit -> unit) option;
   mutable got_first_ack : bool;
   (* Outstanding-segment table: a ring of unboxed arrays indexed by
      [seq land (cap - 1)].  Live seqs are confined to the window
      [min_out, next_seq); as long as the window fits in the (power of
      two) capacity the index mapping is injective, so membership is two
      array reads and insert/remove allocate nothing.  [out_size.(i) = 0]
-     means the slot is free. *)
+     means the slot is free.  Rings start tiny (16 slots) and double on
+     demand: an idle or low-rate flow never pays for a large window. *)
   mutable out_sent : float array; (* send time *)
   mutable out_size : int array; (* segment bytes; 0 = absent *)
   mutable out_dats : int array; (* delivered counter at send *)
@@ -35,14 +109,9 @@ type t = {
   mutable delivered : int;
   mutable lost : int;
   mutable highest_acked : int; (* largest acked seq; -1 initially *)
-  hot : hot;
   send_h : Event_queue.handle; (* paced-send wakeup *)
   timer_h : Event_queue.handle; (* CCA timer *)
   rto_h : Event_queue.handle; (* retransmission-timeout check *)
-  (* Scratch event records passed to the CCA: one allocation per flow
-     instead of one per ACK / send (see the reuse contract in Cca). *)
-  ack_scratch : Cca.ack_info;
-  send_scratch : Cca.send_info;
   mutable running : bool;
   mutable degraded : int; (* insane CCA outputs clamped *)
   mutable stall_probes : int; (* forced probe segments after a stall *)
@@ -55,6 +124,7 @@ type t = {
 }
 
 let dupack_threshold = 3
+let initial_ring = 16
 
 let id t = t.id
 let cca t = t.cca
@@ -71,6 +141,12 @@ let inflight t = t.inflight
 let rtt_series t = t.rtt_series
 let degraded_count t = t.degraded
 let stall_probes t = t.stall_probes
+let size_bytes t = t.size_bytes
+let completed t = not (Float.is_nan t.tbl.Table.done_time.(t.ix))
+
+let completion_time t =
+  let d = t.tbl.Table.done_time.(t.ix) in
+  if Float.is_nan d then None else Some d
 
 let outstanding_bytes t =
   let mask = Array.length t.out_size - 1 in
@@ -92,12 +168,16 @@ let now t = Event_queue.now t.eq
 let stopped t =
   match t.stop_time with Some st -> now t >= st | None -> false
 
-let rto t = Float.max t.min_rto (t.hot.srtt +. (4. *. t.hot.rttvar))
+let rto t =
+  Float.max t.min_rto
+    (t.tbl.Table.srtt.(t.ix) +. (4. *. t.tbl.Table.rttvar.(t.ix)))
 
 (* --- Outstanding-segment ring ------------------------------------------- *)
 
-(* Double the ring so the live window [min_out, next_seq] fits, moving
-   every live slot to its index under the new mask. *)
+(* Double the ring so the live window fits, moving every live slot to its
+   index under the new mask.  Called {e before} the new head slot is
+   written (see [send_packet]), so the copy loop only ever reads live
+   seqs — no slot in [min_out, next_seq) aliases another. *)
 let grow_outstanding t =
   let old_mask = Array.length t.out_size - 1 in
   let cap = 2 * Array.length t.out_size in
@@ -143,9 +223,9 @@ let effective_pacing t =
 (* --- CCA timer plumbing ------------------------------------------------- *)
 
 (* All three flow timers are preallocated cancellable handles: re-arming
-   one writes three heap-array slots and allocates nothing, and a
-   superseded deadline moves the existing entry instead of abandoning a
-   dead closure in the heap. *)
+   one writes three array slots and allocates nothing, and a superseded
+   deadline moves the existing entry instead of abandoning a dead
+   closure in the queue. *)
 
 let rec sync_timer t =
   match t.cca.Cca.next_timer () with
@@ -168,6 +248,28 @@ and fire_timer t =
   maybe_send t;
   sync_timer t
 
+(* --- Completion (sized flows) ------------------------------------------- *)
+
+(* A flow created with [size_bytes] completes once every segment up to
+   [seg_limit] has left the outstanding table — acked or declared lost
+   (this sender does not retransmit; losses are terminal, as everywhere
+   else in the model).  Completion quiesces the flow: all three timers
+   are cancelled, so a departed flow costs the scheduler nothing. *)
+and maybe_complete t =
+  if
+    t.seg_limit <> max_int
+    && t.next_seq >= t.seg_limit
+    && t.inflight = 0
+    && Float.is_nan t.tbl.Table.done_time.(t.ix)
+  then begin
+    t.tbl.Table.done_time.(t.ix) <- now t;
+    t.running <- false;
+    Event_queue.cancel t.eq t.send_h;
+    Event_queue.cancel t.eq t.timer_h;
+    Event_queue.cancel t.eq t.rto_h;
+    match t.on_complete with None -> () | Some f -> f ()
+  end
+
 (* --- Sending ------------------------------------------------------------ *)
 
 and send_packet t =
@@ -184,15 +286,18 @@ and send_packet t =
       ce = false;
     }
   in
-  t.next_seq <- seq + 1;
-  if t.next_seq - t.min_out > Array.length t.out_size then grow_outstanding t;
+  (* Grow before writing the head slot: once [seq] joins, the live
+     window [min_out, seq] holds [seq + 1 - min_out] seqs, and the ring
+     index map is injective only while that fits the capacity. *)
+  if seq + 1 - t.min_out > Array.length t.out_size then grow_outstanding t;
   let i = seq land (Array.length t.out_size - 1) in
   t.out_sent.(i) <- time;
   t.out_size.(i) <- t.mss;
   t.out_dats.(i) <- t.delivered;
+  t.next_seq <- seq + 1;
   t.inflight <- t.inflight + t.mss;
-  t.hot.last_progress <- time;
-  let sc = t.send_scratch in
+  t.tbl.Table.last_progress.(t.ix) <- time;
+  let sc = t.tbl.Table.send_scratch in
   sc.Cca.now <- time;
   sc.Cca.sent_bytes <- t.mss;
   sc.Cca.inflight <- t.inflight;
@@ -201,23 +306,24 @@ and send_packet t =
   schedule_rto t
 
 and maybe_send t =
-  if t.running && not (stopped t) then begin
+  if t.running && not (stopped t) && t.next_seq < t.seg_limit then begin
     let cwnd = effective_cwnd t in
     if float_of_int t.inflight +. float_of_int t.mss <= cwnd +. 1e-6 then begin
       let time = now t in
-      if t.hot.next_send_time <= time +. 1e-12 then begin
+      let nst = t.tbl.Table.next_send_time.(t.ix) in
+      if nst <= time +. 1e-12 then begin
         send_packet t;
         let pacing = effective_pacing t in
         (match pacing with
         | Some r when r > 0. ->
-            t.hot.next_send_time <-
-              Float.max time t.hot.next_send_time +. (float_of_int t.mss /. r)
-        | Some _ | None -> t.hot.next_send_time <- time);
+            t.tbl.Table.next_send_time.(t.ix) <-
+              Float.max time t.tbl.Table.next_send_time.(t.ix)
+              +. (float_of_int t.mss /. r)
+        | Some _ | None -> t.tbl.Table.next_send_time.(t.ix) <- time);
         maybe_send t
       end
-      else if
-        not (Event_queue.scheduled_time t.eq t.send_h <= t.hot.next_send_time)
-      then Event_queue.schedule_handle t.eq t.send_h ~at:t.hot.next_send_time
+      else if not (Event_queue.scheduled_time t.eq t.send_h <= nst) then
+        Event_queue.schedule_handle t.eq t.send_h ~at:nst
     end
   end
 
@@ -225,14 +331,21 @@ and maybe_send t =
 
 and schedule_rto t =
   if not (Event_queue.is_scheduled t.rto_h) then begin
-    let deadline = Float.max (t.hot.last_progress +. rto t) (now t +. 1e-6) in
+    let deadline =
+      Float.max (t.tbl.Table.last_progress.(t.ix) +. rto t) (now t +. 1e-6)
+    in
     Event_queue.schedule_handle t.eq t.rto_h ~at:deadline
   end
 
 and check_rto t =
-  let active = t.running && not (stopped t) in
+  (* [active]: the flow both wants to make progress and has data left;
+     a sized flow that exhausted its segments must neither stall-probe
+     nor keep the RTO chain alive for sending's sake. *)
+  let active =
+    t.running && not (stopped t) && t.next_seq < t.seg_limit
+  in
   if t.inflight > 0 || active then begin
-    if now t -. t.hot.last_progress >= rto t -. 1e-9 then begin
+    if now t -. t.tbl.Table.last_progress.(t.ix) >= rto t -. 1e-9 then begin
       if t.inflight > 0 then begin
         (* Timeout: declare everything outstanding lost. *)
         let lost_bytes = t.inflight in
@@ -248,7 +361,7 @@ and check_rto t =
         t.min_out <- t.next_seq;
         t.inflight <- 0;
         t.lost <- t.lost + lost_bytes;
-        t.hot.last_progress <- now t;
+        t.tbl.Table.last_progress.(t.ix) <- now t;
         t.cca.Cca.on_loss
           {
             Cca.now = now t;
@@ -268,12 +381,13 @@ and check_rto t =
            next timeout) can restart the control loop instead of
            deadlocking the flow. *)
         t.stall_probes <- t.stall_probes + 1;
-        t.hot.next_send_time <- now t;
+        t.tbl.Table.next_send_time.(t.ix) <- now t;
         send_packet t
       end
     end;
     if t.inflight > 0 then schedule_rto t
-  end
+  end;
+  maybe_complete t
 
 let sample_inspect t =
   List.iter
@@ -292,7 +406,16 @@ let sample_inspect t =
 
 let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
     ?(min_rto = 0.2) ?initial_pacing ?inspect_period ?(record_series = true)
-    ~transmit () =
+    ?table ?size_bytes ?on_complete ~transmit () =
+  let tbl = match table with Some tb -> tb | None -> Table.create ~capacity:1 () in
+  let ix = Table.alloc tbl ~start_time in
+  let seg_limit =
+    match size_bytes with
+    | None -> max_int
+    | Some b ->
+        if b <= 0 then invalid_arg "Flow.create: size_bytes must be positive";
+        max 1 ((b + mss - 1) / mss)
+  in
   let t =
     {
       id;
@@ -304,39 +427,24 @@ let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
       stop_time;
       min_rto;
       initial_pacing;
+      tbl;
+      ix;
+      size_bytes;
+      seg_limit;
+      on_complete;
       got_first_ack = false;
-      out_sent = Array.make 1024 0.;
-      out_size = Array.make 1024 0;
-      out_dats = Array.make 1024 0;
+      out_sent = Array.make initial_ring 0.;
+      out_size = Array.make initial_ring 0;
+      out_dats = Array.make initial_ring 0;
       next_seq = 0;
       min_out = 0;
       inflight = 0;
       delivered = 0;
       lost = 0;
       highest_acked = -1;
-      hot =
-        {
-          next_send_time = 0.;
-          last_progress = start_time;
-          srtt = 0.;
-          rttvar = 0.;
-        };
       send_h = Event_queue.handle ignore;
       timer_h = Event_queue.handle ignore;
       rto_h = Event_queue.handle ignore;
-      ack_scratch =
-        {
-          Cca.now = 0.;
-          rtt = 0.;
-          acked_bytes = 0;
-          sent_time = 0.;
-          delivered = 0;
-          delivered_now = 0;
-          inflight = 0;
-          app_limited = false;
-          ecn_ce = false;
-        };
-      send_scratch = { Cca.now = 0.; sent_bytes = 0; inflight = 0 };
       running = false;
       degraded = 0;
       stall_probes = 0;
@@ -344,7 +452,7 @@ let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
       rtt_series = Series.create ~name:(Printf.sprintf "flow%d.rtt" id) ();
       cwnd_series = Series.create ~name:(Printf.sprintf "flow%d.cwnd" id) ();
       delivered_series = Series.create ~name:(Printf.sprintf "flow%d.delivered" id) ();
-      inspect_tbl = Hashtbl.create 8;
+      inspect_tbl = Hashtbl.create 1;
       inspect_keys = [];
     }
   in
@@ -353,7 +461,7 @@ let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
   Event_queue.set_action t.rto_h (fun () -> check_rto t);
   Event_queue.schedule eq ~at:start_time (fun () ->
       t.running <- true;
-      t.hot.next_send_time <- start_time;
+      t.tbl.Table.next_send_time.(t.ix) <- start_time;
       maybe_send t;
       (* Watchdog: if the CCA refused the very first send, the stall
          probe in [check_rto] gets the flow moving after one RTO. *)
@@ -363,7 +471,9 @@ let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
   | Some period when period > 0. ->
       let rec sample () =
         if t.running && not (stopped t) then sample_inspect t;
-        Event_queue.schedule_after eq ~delay:period sample
+        (* A completed sized flow is gone for good: let the sampler die
+           with it instead of ticking to the horizon. *)
+        if not (completed t) then Event_queue.schedule_after eq ~delay:period sample
       in
       Event_queue.schedule eq ~at:start_time sample
   | Some _ | None -> ());
@@ -419,19 +529,22 @@ let finish_ack t ~(newest : Packet.t) ~acked_bytes ~any_ce =
   let time = now t in
   t.got_first_ack <- true;
   t.delivered <- t.delivered + acked_bytes;
-  t.hot.last_progress <- time;
+  t.tbl.Table.last_progress.(t.ix) <- time;
   let rtt = time -. newest.Packet.sent_at in
   (* RFC 6298 smoothing, inlined so the samples stay unboxed. *)
-  let h = t.hot in
-  if h.srtt = 0. then begin
-    h.srtt <- rtt;
-    h.rttvar <- rtt /. 2.
+  let tb = t.tbl in
+  let ix = t.ix in
+  if tb.Table.srtt.(ix) = 0. then begin
+    tb.Table.srtt.(ix) <- rtt;
+    tb.Table.rttvar.(ix) <- rtt /. 2.
   end
   else begin
-    h.rttvar <- (0.75 *. h.rttvar) +. (0.25 *. Float.abs (h.srtt -. rtt));
-    h.srtt <- (0.875 *. h.srtt) +. (0.125 *. rtt)
+    tb.Table.rttvar.(ix) <-
+      (0.75 *. tb.Table.rttvar.(ix))
+      +. (0.25 *. Float.abs (tb.Table.srtt.(ix) -. rtt));
+    tb.Table.srtt.(ix) <- (0.875 *. tb.Table.srtt.(ix)) +. (0.125 *. rtt)
   end;
-  let a = t.ack_scratch in
+  let a = tb.Table.ack_scratch in
   a.Cca.now <- time;
   a.Cca.rtt <- rtt;
   a.Cca.acked_bytes <- acked_bytes;
@@ -450,6 +563,7 @@ let finish_ack t ~(newest : Packet.t) ~acked_bytes ~any_ce =
   detect_losses t;
   sync_timer t;
   maybe_send t;
+  maybe_complete t;
   (* If this ACK emptied the pipe and the CCA still refuses to send
      (window below one segment), keep the RTO chain alive so the stall
      probe can recover the flow. *)
@@ -516,13 +630,19 @@ let fold_state buf t =
   Statebuf.i buf t.delivered;
   Statebuf.i buf t.lost;
   Statebuf.i buf t.highest_acked;
-  Statebuf.f buf t.hot.next_send_time;
-  Statebuf.f buf t.hot.last_progress;
-  Statebuf.f buf t.hot.srtt;
-  Statebuf.f buf t.hot.rttvar;
+  Statebuf.f buf t.tbl.Table.next_send_time.(t.ix);
+  Statebuf.f buf t.tbl.Table.last_progress.(t.ix);
+  Statebuf.f buf t.tbl.Table.srtt.(t.ix);
+  Statebuf.f buf t.tbl.Table.rttvar.(t.ix);
   Statebuf.b buf t.running;
   Statebuf.i buf t.degraded;
   Statebuf.i buf t.stall_probes;
+  (* Sized flows fold their limit and completion instant; unbounded
+     flows keep the historical encoding byte for byte. *)
+  if t.seg_limit <> max_int then begin
+    Statebuf.i buf t.seg_limit;
+    Statebuf.f buf t.tbl.Table.done_time.(t.ix)
+  end;
   (* Live outstanding window: fold only occupied slots, keyed by seq, so
      the encoding is independent of ring capacity. *)
   let mask = Array.length t.out_size - 1 in
@@ -550,6 +670,17 @@ let throughput t ~t0 ~t1 =
     in
     (at t1 -. at t0) /. (t1 -. t0)
   end
+
+(* Goodput over the flow's own active lifetime — delivered bytes per
+   second between its start and its completion (or [horizon] while
+   incomplete).  Unlike {!throughput} this needs no recorded series, so
+   a census population can run with [record_series = false]. *)
+let goodput t ~horizon =
+  let stop =
+    match completion_time t with Some d -> d | None -> horizon
+  in
+  let span = stop -. t.start_time in
+  if span <= 0. then 0. else float_of_int t.delivered /. span
 
 let rate_series t ~window =
   let out = Series.create ~name:(Printf.sprintf "flow%d.rate" t.id) () in

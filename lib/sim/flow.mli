@@ -9,9 +9,33 @@
     retransmitted, the sender just keeps sending new segments, and
     throughput is measured as acknowledged bytes over time.  This is the
     standard fluid abstraction and matches the paper's throughput
-    definition (§4.2: bytes acknowledged in [0, t] divided by t). *)
+    definition (§4.2: bytes acknowledged in [0, t] divided by t).
+
+    A flow may instead be given a finite [size_bytes]; it then stops
+    producing new segments once that much data has been sent and
+    {e completes} — quiescing all of its timers — when the last segment
+    leaves the outstanding table.  Populations of such flows model churn
+    (arrivals via [start_time], departures via completion). *)
 
 type t
+
+(** Structure-of-arrays arena for per-flow hot mutable state.  All flows
+    of one simulation share a table: the pacing clock, progress clock and
+    RTT estimator live in flat unboxed float arrays (one row per flow)
+    rather than per-flow boxed records, and the CCA scratch event records
+    are allocated once per table.  Sharing the scratch is safe because
+    flow event processing is synchronous and non-reentrant across flows,
+    and the {!Cca} contract forbids retaining the records. *)
+module Table : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Rows are added by {!Flow.create} and the arrays double on demand;
+      [capacity] (default 16) merely pre-sizes them. *)
+
+  val flows : t -> int
+  (** Rows allocated so far. *)
+end
 
 val create :
   eq:Event_queue.t ->
@@ -24,6 +48,9 @@ val create :
   ?initial_pacing:float ->
   ?inspect_period:float ->
   ?record_series:bool ->
+  ?table:Table.t ->
+  ?size_bytes:int ->
+  ?on_complete:(unit -> unit) ->
   transmit:(Packet.t -> unit) ->
   unit ->
   t
@@ -41,7 +68,14 @@ val create :
     [record_series] (default [true]) controls the per-ACK RTT / cwnd /
     delivered traces.  Disabling it keeps {!delivered_bytes} and friends
     exact while bounding the flow's memory — useful for long benchmark
-    runs where checkpoint size would otherwise grow with history. *)
+    runs where checkpoint size would otherwise grow with history.
+
+    [table] places the flow's hot state in a shared {!Table} (one fresh
+    private row is allocated otherwise — equivalent, just less compact
+    for large populations).  [size_bytes] bounds the data the flow
+    sends; [on_complete] fires once when a sized flow completes.  The
+    flow does not retransmit, so "complete" means every segment was
+    acked or declared lost. *)
 
 val id : t -> int
 val cca : t -> Cca.t
@@ -85,9 +119,24 @@ val stall_probes : t -> int
     graceful-degradation path that recovers a flow from a collapsed
     window (e.g. after a link blackout ate every ACK). *)
 
+val size_bytes : t -> int option
+(** The sized flow's byte budget; [None] for the unbounded stream. *)
+
+val completed : t -> bool
+(** Whether a sized flow has finished (always [false] when unbounded). *)
+
+val completion_time : t -> float option
+(** Simulation time the flow completed at, once {!completed}. *)
+
 val throughput : t -> t0:float -> t1:float -> float
 (** Mean delivery rate (bytes/s) over the interval, from the cumulative
     delivered-bytes trace. *)
+
+val goodput : t -> horizon:float -> float
+(** Delivered bytes per second over the flow's own active lifetime —
+    from its start time to its completion, or to [horizon] while
+    incomplete.  Needs no recorded series, so census populations can run
+    with [record_series = false]. *)
 
 val rtt_series : t -> Series.t
 (** (ack time, RTT sample). *)

@@ -16,12 +16,13 @@ type flow_spec = {
   initial_pacing : float option;
   inspect_period : float option;
   record_series : bool;
+  size_bytes : int option;
 }
 
 let flow ?(start_time = 0.) ?stop_time ?(extra_rm = 0.) ?(jitter = Jitter.No_jitter)
     ?(jitter_bound = infinity) ?(ack_policy = Immediate) ?(loss_rate = 0.)
     ?(mss = Cca.default_mss) ?initial_pacing ?inspect_period
-    ?(record_series = true) cca =
+    ?(record_series = true) ?size_bytes cca =
   {
     cca;
     start_time;
@@ -35,6 +36,7 @@ let flow ?(start_time = 0.) ?stop_time ?(extra_rm = 0.) ?(jitter = Jitter.No_jit
     initial_pacing;
     inspect_period;
     record_series;
+    size_bytes;
   }
 
 type config = {
@@ -52,11 +54,13 @@ type config = {
   initial_queue_bytes : int;
   faults : Fault.plan;
   monitor_period : float option;
+  backend : Event_queue.backend;
 }
 
 let config ~rate ?buffer ?ecn_threshold ?aqm ?(discipline = Link.Fifo) ~rm
     ?(seed = 42) ?(record_queue = false) ?(initial_queue_bytes = 0) ?(t0 = 0.)
-    ?(faults = Fault.none) ?monitor_period ~duration flows =
+    ?(faults = Fault.none) ?monitor_period ?(backend = Event_queue.Wheel)
+    ~duration flows =
   if flows = [] then invalid_arg "Network.config: at least one flow required";
   if duration <= 0. then invalid_arg "Network.config: duration must be positive";
   if rm < 0. then invalid_arg "Network.config: negative propagation delay";
@@ -81,13 +85,17 @@ let config ~rate ?buffer ?ecn_threshold ?aqm ?(discipline = Link.Fifo) ~rm
       | Aggregate { period } ->
           if not (period > 0.) then
             invalid_arg "Network.config: Aggregate ack period must be positive");
+      (match f.size_bytes with
+      | Some sz when sz <= 0 ->
+          invalid_arg "Network.config: size_bytes must be positive"
+      | Some _ | None -> ());
       match f.stop_time with
       | Some st when st <= f.start_time ->
           invalid_arg "Network.config: stop_time before start_time"
       | Some _ | None -> ())
     flows;
   { rate; buffer; ecn_threshold; aqm; discipline; rm; flows; t0; duration; seed;
-    record_queue; initial_queue_bytes; faults; monitor_period }
+    record_queue; initial_queue_bytes; faults; monitor_period; backend }
 
 (* Per-flow delayed-ACK accumulator.  [count] mirrors the length of
    [held] so the per-delivery policy check is O(1) instead of two
@@ -161,7 +169,7 @@ let fault_ack_drops t =
 let phantom_flow_id = -1
 
 let build cfg =
-  let eq = Event_queue.create ~start:cfg.t0 () in
+  let eq = Event_queue.create ~backend:cfg.backend ~start:cfg.t0 () in
   let master_rng = Rng.create ~seed:cfg.seed in
   let effective_rate = Fault.compile_rate cfg.faults cfg.rate in
   let link = Link.create ~eq ~rate:effective_rate ?buffer:cfg.buffer
@@ -304,6 +312,7 @@ let build cfg =
     then ()
     else ignore (Link.enqueue link pkt)
   in
+  let table = Flow.Table.create ~capacity:n () in
   Array.iteri
     (fun i spec ->
       flows.(i) <-
@@ -312,7 +321,8 @@ let build cfg =
              ~start_time:(Float.max spec.start_time cfg.t0)
              ?stop_time:spec.stop_time ?initial_pacing:spec.initial_pacing
              ?inspect_period:spec.inspect_period
-             ~record_series:spec.record_series ~transmit:(transmit i) ()))
+             ~record_series:spec.record_series ~table
+             ?size_bytes:spec.size_bytes ~transmit:(transmit i) ()))
     specs;
 
   (* Phantom initial queue: sets d*(0) without generating ACKs. *)
@@ -691,6 +701,10 @@ let throughputs t ?(warmup_frac = 0.25) () =
   let t1 = t.cfg.t0 +. t.cfg.duration in
   let t0 = t.cfg.t0 +. (warmup_frac *. t.cfg.duration) in
   Array.map (fun f -> Flow.throughput f ~t0 ~t1) t.flows
+
+let goodputs t =
+  let horizon = t.cfg.t0 +. t.cfg.duration in
+  Array.map (fun f -> Flow.goodput f ~horizon) t.flows
 
 let utilization t ?(warmup_frac = 0.25) () =
   let xs = throughputs t ~warmup_frac () in

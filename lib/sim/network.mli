@@ -36,14 +36,20 @@ type flow_spec = {
   record_series : bool;
       (** record the per-ACK RTT / cwnd / delivered traces (see
           {!Flow.create}); defaults to [true] *)
+  size_bytes : int option;
+      (** finite flow size: stop producing segments after this many bytes
+          and complete when the last one is acked or lost (see
+          {!Flow.create}); [None] (the default) is the unbounded stream *)
 }
 
 val flow : ?start_time:float -> ?stop_time:float -> ?extra_rm:float ->
   ?jitter:Jitter.policy -> ?jitter_bound:float -> ?ack_policy:ack_policy ->
   ?loss_rate:float -> ?mss:int -> ?initial_pacing:float ->
-  ?inspect_period:float -> ?record_series:bool -> Cca.t -> flow_spec
+  ?inspect_period:float -> ?record_series:bool -> ?size_bytes:int ->
+  Cca.t -> flow_spec
 (** Spec with defaults: starts at 0, never stops, no extra delay, no jitter
-    (bound [infinity]), immediate ACKs, no random loss, 1500-byte MSS. *)
+    (bound [infinity]), immediate ACKs, no random loss, 1500-byte MSS,
+    unbounded size. *)
 
 type config = {
   rate : Link.rate;
@@ -73,16 +79,22 @@ type config = {
   monitor_period : float option;
       (** audit the runtime invariants ({!invariant}) at this period;
           [None] (the default) disables the monitor *)
+  backend : Event_queue.backend;
+      (** event scheduler backend (default {!Event_queue.Wheel}); both
+          backends pop in the same order, so results are identical — the
+          {!Event_queue.Heap} baseline exists for benchmarking and for
+          timelines beyond the wheel's horizon *)
 }
 
 val config :
   rate:Link.rate -> ?buffer:int -> ?ecn_threshold:int -> ?aqm:Aqm.t ->
   ?discipline:Link.discipline -> rm:float -> ?seed:int -> ?record_queue:bool ->
   ?initial_queue_bytes:int -> ?t0:float -> ?faults:Fault.plan ->
-  ?monitor_period:float -> duration:float -> flow_spec list -> config
+  ?monitor_period:float -> ?backend:Event_queue.backend ->
+  duration:float -> flow_spec list -> config
 (** @raise Invalid_argument on malformed parameters, including ack-policy
     parameters ([Delayed] count < 1 or timeout <= 0, [Aggregate] period
-    <= 0). *)
+    <= 0) and non-positive [size_bytes]. *)
 
 type t
 
@@ -215,6 +227,12 @@ val throughput : t -> flow:int -> t0:float -> t1:float -> float
 val throughputs : t -> ?warmup_frac:float -> unit -> float array
 (** Per-flow throughput over [warmup_frac * duration, duration].
     Default warmup fraction 0.25. *)
+
+val goodputs : t -> float array
+(** Per-flow {!Flow.goodput} over each flow's own active lifetime (start
+    to completion, or to the horizon while incomplete).  The per-flow
+    rate measure for churning populations of sized flows, where a shared
+    measurement window would misrepresent flows that lived outside it. *)
 
 val utilization : t -> ?warmup_frac:float -> unit -> float
 (** Sum of flow throughputs over the mean link rate in the same window. *)

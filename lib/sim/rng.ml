@@ -83,6 +83,13 @@ let exponential t ~mean =
   let u = float t 1. in
   -.mean *. log (1. -. u)
 
+let pareto t ~alpha ~xm =
+  if not (alpha > 0.) then invalid_arg "Rng.pareto: alpha must be positive";
+  if not (xm > 0.) then invalid_arg "Rng.pareto: xm must be positive";
+  (* Inverse CDF; [1. -. u] in (0,1] keeps the power finite. *)
+  let u = float t 1. in
+  xm *. ((1. -. u) ** (-1. /. alpha))
+
 let fold_state buf t =
   Statebuf.i64 buf t.s0;
   Statebuf.i64 buf t.s1;

@@ -42,6 +42,13 @@ val exponential : t -> mean:float -> float
     non-negative.  [mean] must be positive.  Used by the open-loop
     Poisson traffic source ({!Source}). *)
 
+val pareto : t -> alpha:float -> xm:float -> float
+(** Pareto-distributed draw (minimum [xm], shape [alpha]) via
+    inverse-CDF — one uniform per draw, always finite and >= [xm].
+    Both parameters must be positive.  Heavy-tailed flow sizes for the
+    churn model use [alpha] close to the classic 1.5: most flows are a
+    few segments, a few are elephants. *)
+
 val bits64 : t -> int64
 
 val fold_state : Buffer.t -> t -> unit

@@ -67,3 +67,39 @@ let max_min_ratio xs =
          silently read "perfectly fair".  Reject instead. *)
       if mn < 0. then invalid_arg "Stats.max_min_ratio: negative value";
       if mx = 0. then 1. else if mn = 0. then infinity else mx /. mn
+
+type ratio_summary = {
+  total : int;
+  starved : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_ratio : float;
+}
+
+let ratio_summary xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.ratio_summary: empty array";
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x && x >= 0.) then
+        invalid_arg "Stats.ratio_summary: rates must be finite and >= 0")
+    xs;
+  let mx = Array.fold_left Float.max 0. xs in
+  let live = Array.of_list (List.filter (fun x -> x > 0.) (Array.to_list xs)) in
+  let starved = n - Array.length live in
+  if Array.length live = 0 then
+    (* Everyone starved (or the run never moved a byte): there is no
+       finite ratio to report; zeros keep the record serializable. *)
+    { total = n; starved; p50 = 0.; p90 = 0.; p99 = 0.; max_ratio = 0. }
+  else begin
+    let ratios = Array.map (fun x -> mx /. x) live in
+    {
+      total = n;
+      starved;
+      p50 = percentile ratios 50.;
+      p90 = percentile ratios 90.;
+      p99 = percentile ratios 99.;
+      max_ratio = Array.fold_left Float.max 1. ratios;
+    }
+  end

@@ -43,3 +43,25 @@ val max_min_ratio : float list -> float
     zero while the largest is positive, [1.] when all are zero.  Values must
     be non-negative (they are throughputs).
     @raise Invalid_argument on an empty list or any negative value. *)
+
+(** Distribution of per-flow throughput ratios for large populations,
+    with starvation reported as an explicit count rather than an
+    infinite ratio.  {!max_min_ratio} collapses a 100k-flow census to
+    [infinity] the moment one flow starves, which both hides how many
+    starved and poisons JSON output; this summary keeps every field
+    finite by construction. *)
+type ratio_summary = {
+  total : int;  (** population size *)
+  starved : int;  (** flows with rate exactly 0 *)
+  p50 : float;  (** quantiles of [max rate / rate] over non-starved flows *)
+  p90 : float;
+  p99 : float;
+  max_ratio : float;  (** largest finite ratio (>= 1 when any flow moved) *)
+}
+
+val ratio_summary : float array -> ratio_summary
+(** Quantiles are over the non-starved flows only and are therefore
+    always finite; when {e every} flow starved they are reported as 0.
+    No field is ever [inf] or [nan].
+    @raise Invalid_argument on an empty array or any negative or
+    non-finite rate. *)

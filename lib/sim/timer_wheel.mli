@@ -1,0 +1,103 @@
+(** Hierarchical timing wheel: O(1) schedule/cancel for near-future
+    events, backing {!Event_queue}'s hybrid scheduler.
+
+    Time is discretised into ticks of [granularity] seconds (default
+    1e-6 s).  The wheel has {!levels} levels of {!slots_per_level}
+    slots; level [l] spans [32^(l+1)] ticks, so the default horizon is
+    [32^7] ticks ~ 9.5 hours of simulated time at 1 us resolution.
+
+    Level assignment is by the highest differing 5-bit group between an
+    event's tick and the cursor's tick (the scheme used by hashed
+    hierarchical wheels): an entry lives at the level of its highest
+    tick-bit that differs from the cursor.  This makes cascades strictly
+    downward — when the cursor enters a level-[l] block, every entry in
+    that block's slot re-files at a level [< l] or becomes due — and
+    makes slot reconstruction wrap-free, so the next pending tick can be
+    recovered exactly from occupancy bitmaps.
+
+    Events whose tick differs from the cursor above the top level do not
+    fit ([add] returns [Far]); the caller keeps those in a separate
+    overflow structure (Event_queue uses its binary heap).  Entries
+    store the exact [(time, seq)] pair they were scheduled with, so the
+    caller can reproduce a binary heap's FIFO tie-break order exactly.
+
+    The wheel never runs callbacks itself: [move] reports storage
+    relocation (for handle back-pointers) and [due] surrenders entries
+    whose tick the cursor has reached.  Both must not reentrantly mutate
+    the wheel. *)
+
+type 'a t
+
+val slot_bits : int
+(** 5: slots per level = 32, so occupancy bitmaps are plain [int]s. *)
+
+val slots_per_level : int
+val levels : int
+
+val horizon_ticks : int
+(** [32^levels]: ticks representable before [add] answers [Far]. *)
+
+type placement =
+  | Placed  (** stored in the wheel; [move] was called with its location *)
+  | Due  (** tick <= cursor: caller must treat it as immediately runnable *)
+  | Far  (** beyond the horizon: caller must keep it elsewhere *)
+
+val create :
+  ?granularity:float ->
+  start:float ->
+  dummy:'a ->
+  move:('a -> slot:int -> idx:int -> unit) ->
+  due:('a -> time:float -> seq:int -> unit) ->
+  unit ->
+  'a t
+(** [granularity] is the tick width in seconds (default [1e-6]).
+    [start] positions the initial cursor.  [dummy] fills vacated slots
+    so the wheel never retains popped items.  [move x ~slot ~idx] is
+    called whenever [x] is stored or relocated; [remove] takes the same
+    coordinates back.  [due x ~time ~seq] is called from {!advance} for
+    every entry whose tick the cursor reached, in unspecified order —
+    the caller re-sorts by [(time, seq)] (Event_queue pushes into its
+    due heap). *)
+
+val size : 'a t -> int
+(** Entries currently stored in the wheel (excludes [Due]/[Far]). *)
+
+val granularity : 'a t -> float
+
+val tick_of : 'a t -> float -> int
+(** The discretisation used for every placement decision:
+    [floor (time / granularity)].  Exposed so the caller can compare
+    overflow-heap times against wheel ticks in tick space (float
+    products of tick * granularity could misorder by an ulp). *)
+
+val cursor : 'a t -> int
+(** Current cursor tick.  Entries in the wheel all have
+    [tick > cursor]. *)
+
+val add : 'a t -> time:float -> seq:int -> 'a -> placement
+(** O(1).  On [Placed], [move] has been called with the entry's
+    location.  On [Due]/[Far] the wheel stores nothing. *)
+
+val remove : 'a t -> slot:int -> idx:int -> unit
+(** O(1) cancel by location (as last reported via [move]).  The entry
+    occupying the slot's tail is swapped in and gets a [move]
+    callback. *)
+
+val time_at : 'a t -> slot:int -> idx:int -> float
+val seq_at : 'a t -> slot:int -> idx:int -> int
+
+val next_tick : 'a t -> int
+(** Smallest tick among stored entries; O(1) amortised via an exact
+    memo, O(levels * 32 + occupied-slot scan) on recompute.
+    Precondition: [size t > 0]. *)
+
+val advance : 'a t -> int -> unit
+(** [advance t target] moves the cursor to [target] (which must be
+    [> cursor t] and [<= next_tick t] when entries exist — the caller
+    advances to exactly the next pending tick), cascading higher-level
+    slots downward and emitting every entry with [tick = target] via
+    [due]. *)
+
+val fold_state : Buffer.t -> 'a t -> unit
+(** Deterministic digest of cursor + stored [(time, seq)] pairs in
+    storage order, for {!Statebuf} fingerprints. *)

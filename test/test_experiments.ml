@@ -39,7 +39,7 @@ let test_registry_complete () =
   let expected =
     [ "fig1"; "fig3"; "copa"; "bbr"; "vivace"; "fig7"; "allegro"; "theorem1";
       "theorem2"; "alg1"; "ccac"; "ecn"; "threshold"; "isolation"; "robustness";
-      "matrix"; "faults" ]
+      "matrix"; "faults"; "census" ]
   in
   List.iter
     (fun k ->
@@ -94,6 +94,7 @@ let test_exp_isolation () = run_rows "isolation" (Experiments.Exp_isolation.run 
 let test_exp_robustness () = run_rows "robustness" (Experiments.Exp_robustness.run ~quick:true ())
 let test_exp_matrix () = run_rows "matrix" (Experiments.Exp_matrix.run ~quick:true ())
 let test_exp_faults () = run_rows "faults" (Experiments.Exp_faults.run ~quick:true ())
+let test_exp_census () = run_rows "census" (Experiments.Exp_census.run ~quick:true ())
 
 let test_series_to_rows_stride () =
   let s = Sim.Series.create () in
@@ -231,6 +232,7 @@ let () =
           Alcotest.test_case "robustness" `Slow test_exp_robustness;
           Alcotest.test_case "matrix" `Slow test_exp_matrix;
           Alcotest.test_case "faults" `Slow test_exp_faults;
+          Alcotest.test_case "census" `Slow test_exp_census;
         ] );
       ( "export",
         [

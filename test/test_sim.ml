@@ -1933,6 +1933,283 @@ let prop_series_window_queries_match_naive =
       in
       got = naive && mean_ok && minmax_ok)
 
+(* ------------------------------------------------------------------ *)
+(* Timer-wheel backend and million-flow scale                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The wheel/heap contract is exact: both backends consume one global
+   sequence number per insertion and compare exactly, so any trace of
+   schedules, cancels, re-arms and interleaved pops must fire in the
+   same order under both. *)
+let prop_eq_backend_equivalence =
+  QCheck.Test.make
+    ~name:"wheel and heap backends pop identically under random traces"
+    ~count:150
+    QCheck.(
+      list_of_size
+        Gen.(0 -- 80)
+        (triple (int_range 0 4) (int_range 0 7) (int_range 0 200000)))
+    (fun ops ->
+      let run backend =
+        (* A low, trace-dependent threshold: 0 forces every insertion
+           through the wheel (cascade coverage); small nonzero values
+           make traces cross it mid-run, mixing overflow-era and
+           wheel-era residents in one queue. *)
+        let wheel_threshold = 7 * List.length ops mod 23 in
+        let eq = Sim.Event_queue.create ~backend ~wheel_threshold () in
+        let log = ref [] in
+        let handles =
+          Array.init 8 (fun i ->
+              Sim.Event_queue.handle (fun () -> log := i :: !log))
+        in
+        List.iteri
+          (fun j (op, hi, t) ->
+            let at = Sim.Event_queue.now eq +. (float_of_int t *. 1e-5) in
+            match op with
+            | 0 | 1 -> Sim.Event_queue.schedule_handle eq handles.(hi) ~at
+            | 2 ->
+                (* far beyond the wheel horizon: the overflow-heap path *)
+                Sim.Event_queue.schedule_handle eq handles.(hi)
+                  ~at:(at +. 1e8)
+            | 3 -> Sim.Event_queue.cancel eq handles.(hi)
+            | _ ->
+                let tag = 100 + j in
+                Sim.Event_queue.schedule eq ~at (fun () -> log := tag :: !log))
+          ops;
+        (* Interleave a partial drain with fresh arming: the due-heap
+           handoff only happens when pops and inserts mix. *)
+        for _ = 1 to 5 do
+          ignore (Sim.Event_queue.step eq)
+        done;
+        List.iteri
+          (fun j (op, hi, t) ->
+            if op = 0 then
+              Sim.Event_queue.schedule_handle eq handles.(hi)
+                ~at:(Sim.Event_queue.now eq +. (float_of_int (t + j) *. 1e-5)))
+          ops;
+        Sim.Event_queue.run eq;
+        List.rev !log
+      in
+      run Sim.Event_queue.Heap = run Sim.Event_queue.Wheel)
+
+let test_eq_peak_100k_flows () =
+  (* The census workload shape at full scale: 100k sized flows armed in
+     one queue.  Build is O(n); the queue's population equals the flow
+     count exactly (one start event each), and the first slice of the
+     run executes without disturbing the clock contract. *)
+  let n = 100_000 in
+  let specs =
+    List.init n (fun i ->
+        Sim.Network.flow
+          ~start_time:(float_of_int i *. 1e-4)
+          ~record_series:false ~size_bytes:3000
+          (Cca.make_stub ~cwnd_bytes:3000. ()))
+  in
+  let cfg =
+    Sim.Network.config
+      ~rate:(Sim.Link.Constant (Sim.Units.mbps 96.))
+      ~rm:0.01 ~duration:20. specs
+  in
+  let net = Sim.Network.build cfg in
+  let eq = Sim.Network.event_queue net in
+  Alcotest.(check int) "one pending start event per flow" n
+    (Sim.Event_queue.pending eq);
+  Sim.Network.run_to net 0.05;
+  Alcotest.(check bool) "early starts executed, rest pending" true
+    (Sim.Event_queue.pending eq > n / 2);
+  check_float "clock at slice horizon" 0.05 (Sim.Event_queue.now eq)
+
+let test_network_backend_equivalence () =
+  (* End-to-end: a full simulation evolves identically under both
+     backends — every component digest except the scheduler's own
+     (whose fold encodes backend-specific structure: the same armed
+     events live in different containers) must agree. *)
+  let cfg backend =
+    Sim.Network.config
+      ~rate:(Sim.Link.Constant (Sim.Units.mbps 24.))
+      ~rm:0.02 ~duration:3. ~backend
+      [
+        Sim.Network.flow (Reno.make ());
+        Sim.Network.flow ~jitter:(Sim.Jitter.Constant 0.005)
+          ~jitter_bound:0.005 (Reno.make ());
+      ]
+  in
+  let fp backend =
+    List.filter
+      (fun (name, _) -> name <> "event-queue")
+      (Sim.Network.fingerprint (Sim.Network.run_config (cfg backend)))
+  in
+  let heap = fp Sim.Event_queue.Heap and wheel = fp Sim.Event_queue.Wheel in
+  List.iter2
+    (fun (n1, d1) (n2, d2) ->
+      Alcotest.(check string) ("component name " ^ n1) n1 n2;
+      Alcotest.(check string) ("digest " ^ n1) d1 d2)
+    heap wheel
+
+let test_flow_table_memory_bounded () =
+  (* 10k idle flows in one shared table must cost a bounded number of
+     heap words each.  The old eager 1024-slot outstanding rings alone
+     were ~2k words per flow; the 16-slot rings plus the
+     structure-of-arrays table keep the whole flow a few hundred. *)
+  let n = 10_000 in
+  let eq = Sim.Event_queue.create () in
+  let table = Sim.Flow.Table.create ~capacity:n () in
+  Gc.full_major ();
+  let before = (Gc.stat ()).Gc.live_words in
+  let flows =
+    Array.init n (fun i ->
+        Sim.Flow.create ~eq ~id:i
+          ~cca:(Cca.make_stub ~cwnd_bytes:3000. ())
+          ~start_time:5. ~record_series:false ~table
+          ~transmit:(fun _ -> ())
+          ())
+  in
+  Gc.full_major ();
+  let after = (Gc.stat ()).Gc.live_words in
+  let per_flow = (after - before) / n in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d live words per idle flow (bound 1000)" per_flow)
+    true (per_flow <= 1000);
+  ignore (Sys.opaque_identity flows)
+
+let test_network_sized_flow_completes () =
+  let size = 15_000 in
+  let cfg =
+    Sim.Network.config
+      ~rate:(Sim.Link.Constant (Sim.Units.mbps 12.))
+      ~rm:0.02 ~duration:5.
+      [ Sim.Network.flow ~size_bytes:size (Reno.make ()) ]
+  in
+  let net = Sim.Network.run_config cfg in
+  let f = (Sim.Network.flows net).(0) in
+  Alcotest.(check bool) "completed" true (Sim.Flow.completed f);
+  Alcotest.(check int) "delivered its size" size (Sim.Flow.delivered_bytes f);
+  (match Sim.Flow.completion_time f with
+  | Some ct ->
+      Alcotest.(check bool) "finished early" true (ct < 1.);
+      let g = (Sim.Network.goodputs net).(0) in
+      Alcotest.(check bool) "goodput over own lifetime" true
+        (g > float_of_int size /. 1.)
+  | None -> Alcotest.fail "no completion time");
+  (* Completion quiesces the flow: no timers left re-arming forever. *)
+  Alcotest.(check int) "event queue drained" 0
+    (Sim.Event_queue.pending (Sim.Network.event_queue net))
+
+(* Scripted window driver for the outstanding ring: a stub CCA whose
+   window we resize by hand, ACKs delivered oldest-first on command.
+   Every ACK triggers sends synchronously, so op sequences walk the ring
+   head (min_out) and tail (next_seq) through arbitrary phases of the
+   16-slot initial capacity — growth must relocate a live wrapped window
+   without corrupting it. *)
+let prop_flow_ring_growth_conservation =
+  QCheck.Test.make
+    ~name:"outstanding ring survives growth at any wrap phase" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 150) (int_range 0 3))
+    (fun ops ->
+      let mss = 1500 in
+      let eq = Sim.Event_queue.create () in
+      let cw = ref (float_of_int (4 * mss)) in
+      let base = Cca.make_stub ~cwnd_bytes:!cw () in
+      let cca = { base with Cca.cwnd = (fun () -> !cw) } in
+      let sent = Queue.create () in
+      let flow =
+        Sim.Flow.create ~eq ~id:0 ~cca ~start_time:0. ~record_series:false
+          ~transmit:(fun p -> Queue.push p sent)
+          ()
+      in
+      Sim.Event_queue.run_until eq 0.;
+      let ok = ref true in
+      let check () =
+        ok :=
+          !ok
+          && Sim.Flow.inflight flow = Sim.Flow.outstanding_bytes flow
+          && Sim.Flow.sent_bytes flow
+             = Sim.Flow.delivered_bytes flow + Sim.Flow.inflight flow
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | 0 | 1 ->
+              (* grow the window one segment: pushes next_seq across the
+                 capacity boundary while min_out sits anywhere *)
+              cw := !cw +. float_of_int mss;
+              if not (Queue.is_empty sent) then
+                Sim.Flow.receive_ack_one flow (Queue.pop sent)
+          | 2 -> cw := Float.max (float_of_int mss) (!cw -. float_of_int mss)
+          | _ ->
+              if not (Queue.is_empty sent) then
+                Sim.Flow.receive_ack_one flow (Queue.pop sent));
+          check ())
+        ops;
+      (* Drain: close the window first — the stream is infinite, so with
+         any window open each ACK would trigger a fresh send and the
+         queue would never empty — then ack everything outstanding. *)
+      cw := 0.;
+      while not (Queue.is_empty sent) do
+        Sim.Flow.receive_ack_one flow (Queue.pop sent);
+        check ()
+      done;
+      !ok && Sim.Flow.inflight flow = 0)
+
+let test_ratio_summary () =
+  let s = Sim.Stats.ratio_summary [| 1.; 2.; 4.; 0. |] in
+  Alcotest.(check int) "total" 4 s.Sim.Stats.total;
+  Alcotest.(check int) "starved" 1 s.Sim.Stats.starved;
+  check_float "p50 over live ratios" 2. s.Sim.Stats.p50;
+  check_float "max ratio" 4. s.Sim.Stats.max_ratio;
+  let even = Sim.Stats.ratio_summary [| 5.; 5.; 5. |] in
+  Alcotest.(check int) "none starved" 0 even.Sim.Stats.starved;
+  check_float "fair p99" 1. even.Sim.Stats.p99;
+  let dead = Sim.Stats.ratio_summary [| 0.; 0. |] in
+  Alcotest.(check int) "all starved" 2 dead.Sim.Stats.starved;
+  check_float "quantiles zeroed, not inf" 0. dead.Sim.Stats.p99;
+  check_float "max zeroed, not inf" 0. dead.Sim.Stats.max_ratio
+
+let test_ratio_summary_rejects () =
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty" true
+    (raises (fun () -> Sim.Stats.ratio_summary [||]));
+  Alcotest.(check bool) "negative" true
+    (raises (fun () -> Sim.Stats.ratio_summary [| 1.; -2. |]));
+  Alcotest.(check bool) "nan" true
+    (raises (fun () -> Sim.Stats.ratio_summary [| nan |]));
+  Alcotest.(check bool) "infinite rate" true
+    (raises (fun () -> Sim.Stats.ratio_summary [| infinity |]))
+
+let prop_ratio_summary_finite =
+  QCheck.Test.make ~name:"ratio summary never emits inf or nan" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 40) (float_range 0. 1e9))
+    (fun xs ->
+      let s = Sim.Stats.ratio_summary (Array.of_list xs) in
+      List.for_all Float.is_finite
+        [ s.Sim.Stats.p50; s.Sim.Stats.p90; s.Sim.Stats.p99; s.Sim.Stats.max_ratio ]
+      && s.Sim.Stats.starved <= s.Sim.Stats.total)
+
+let test_rng_pareto () =
+  let g = Sim.Rng.create ~seed:7 in
+  let xm = 10. and alpha = 1.5 in
+  let n = 20_000 in
+  let draws = Array.init n (fun _ -> Sim.Rng.pareto g ~alpha ~xm) in
+  Alcotest.(check bool) "all >= xm" true (Array.for_all (fun x -> x >= xm) draws);
+  (* The heavy tail makes the sample mean unreliable; the median is
+     xm * 2^(1/alpha) and concentrates fast. *)
+  let med = Sim.Stats.median draws in
+  let expect = xm *. Float.exp (Float.log 2. /. alpha) in
+  Alcotest.(check bool)
+    (Printf.sprintf "median %.3f within 5%% of %.3f" med expect)
+    true
+    (Float.abs (med -. expect) /. expect < 0.05);
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "bad alpha" true
+    (raises (fun () -> Sim.Rng.pareto g ~alpha:0. ~xm));
+  Alcotest.(check bool) "bad xm" true
+    (raises (fun () -> Sim.Rng.pareto g ~alpha ~xm:(-1.)))
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "sim"
@@ -1965,6 +2242,8 @@ let () =
           Alcotest.test_case "step hook" `Quick
             test_eq_step_hook_observes_every_step;
           qt prop_eq_stable_order;
+          qt prop_eq_backend_equivalence;
+          Alcotest.test_case "peak at 100k flows" `Slow test_eq_peak_100k_flows;
         ] );
       ( "delay_line",
         [
@@ -1986,6 +2265,7 @@ let () =
           Alcotest.test_case "stream labels decorrelated" `Quick
             test_rng_stream_labels_decorrelated;
           Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "pareto" `Quick test_rng_pareto;
           Alcotest.test_case "bool probability" `Quick test_rng_bool_probability;
           qt prop_rng_float_range;
         ] );
@@ -2001,8 +2281,12 @@ let () =
           Alcotest.test_case "online singleton" `Quick test_online_singleton;
           Alcotest.test_case "max min ratio rejects negative" `Quick
             test_max_min_ratio_rejects_negative;
+          Alcotest.test_case "ratio summary" `Quick test_ratio_summary;
+          Alcotest.test_case "ratio summary rejects" `Quick
+            test_ratio_summary_rejects;
           qt prop_jain_bounds;
           qt prop_online_matches_batch_mean;
+          qt prop_ratio_summary_finite;
         ] );
       ( "series",
         [
@@ -2091,6 +2375,9 @@ let () =
           Alcotest.test_case "initial pacing" `Quick test_flow_initial_pacing_spreads_sends;
           Alcotest.test_case "dupack detection" `Quick test_flow_dupack_loss_detection;
           Alcotest.test_case "ce propagates" `Quick test_flow_ce_propagates;
+          Alcotest.test_case "table memory bounded" `Quick
+            test_flow_table_memory_bounded;
+          qt prop_flow_ring_growth_conservation;
         ] );
       ( "units",
         [
@@ -2120,6 +2407,10 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_network_deterministic;
           Alcotest.test_case "accessor lengths" `Quick test_network_accessor_lengths;
           Alcotest.test_case "start stop" `Quick test_network_flow_start_stop;
+          Alcotest.test_case "backend equivalence" `Quick
+            test_network_backend_equivalence;
+          Alcotest.test_case "sized flow completes" `Quick
+            test_network_sized_flow_completes;
           Alcotest.test_case "event queue stays small" `Quick
             test_network_event_queue_peak;
           Alcotest.test_case "minor-words budget" `Quick
