@@ -550,6 +550,131 @@ let churn_bench () =
     (fps_wheel_big /. fps_heap_big);
   (n_big, fps_wheel_small, fps_heap_small, fps_wheel_big, fps_heap_big)
 
+(* Wheel/heap crossover sweep: the same churn workload at geometrically
+   spaced populations, wheel vs heap interleaved per round.  The
+   crossover is the smallest population where the wheel is at least 5%
+   ahead — below it the lazy small-queue bypass keeps the wheel backend
+   on the plain heap path, so the two must be statistically identical;
+   above it the heap pays O(log n) per re-arm.  Per-point reps equalize
+   total flows so the small populations are not all fork/setup noise. *)
+let crossover_bench () =
+  let pops = [ 8; 32; 128; 512; 2048; 8192 ] in
+  let rounds = if quick then 2 else 3 in
+  let reps n = max 1 (8192 / n) in
+  let wheel = Sim.Event_queue.Wheel and heap = Sim.Event_queue.Heap in
+  ignore (churn_rate ~backend:wheel ~n:8 ~reps:2);
+  ignore (churn_rate ~backend:heap ~n:8 ~reps:2);
+  Printf.printf "\n== Wheel/heap crossover sweep (completed flows/sec) ==\n";
+  Printf.printf "%-34s %12s %12s %8s\n" "population" "heap" "wheel" "ratio";
+  let ratios =
+    List.map
+      (fun n ->
+        let w = ref 0. and h = ref 0. in
+        for _ = 1 to rounds do
+          Gc.full_major ();
+          w := Float.max !w (churn_rate ~backend:wheel ~n ~reps:(reps n));
+          Gc.full_major ();
+          h := Float.max !h (churn_rate ~backend:heap ~n ~reps:(reps n))
+        done;
+        let ratio = !w /. !h in
+        Printf.printf "%-34d %12.0f %12.0f %7.2fx\n" n !h !w ratio;
+        (n, ratio))
+      pops
+  in
+  (* The crossover is where the advantage becomes sustained: the first
+     population after the last sub-threshold reading.  A single noisy
+     high ratio at a small population (where each measurement is tens of
+     milliseconds) must not register as the wheel "winning" below its
+     bypass threshold. *)
+  let crossover =
+    match
+      List.fold_left
+        (fun acc (n, ratio) -> if ratio < 1.05 then Some n else acc)
+        None ratios
+    with
+    | None -> List.hd pops
+    | Some last_below -> (
+        match List.find_opt (fun (n, _) -> n > last_below) ratios with
+        | Some (n, _) -> n
+        | None -> 0)
+  in
+  Printf.printf "crossover population (wheel >= 1.05x sustained): %d\n" crossover;
+  crossover
+
+(* The fix behind the old 0.99x wheel-vs-heap reading at 8 flows: with
+   the lazy small-queue bypass the wheel backend must never allocate its
+   wheel on a small population — pending events stay under the bypass
+   threshold, so the backend runs the identical heap path plus one
+   integer compare.  Verified structurally, not statistically. *)
+let wheel_bypass_at_8 () =
+  let cfg = churn_config ~backend:Sim.Event_queue.Wheel ~n:8 ~seed:7 in
+  let net = Sim.Network.build cfg in
+  ignore (Sim.Network.run net);
+  not (Sim.Event_queue.wheel_allocated (Sim.Network.event_queue net))
+
+(* Census-at-scale benchmark: one full standard census cell (Reno,
+   columnar state, 20 ms ACK jitter — the same constants as
+   Experiments.Exp_census) measured for wall-clock throughput and
+   resident memory.  bytes/flow is the live-words delta, holding the
+   complete census result (recycled flow table + goodput column), over
+   the whole population: the number that says a million-flow census fits
+   one machine because quiesced flows cost tens of bytes, not a struct
+   of Series.  The goodput column alone is 8 bytes/flow, so the flow
+   table is doing well if the total stays two digits. *)
+let census_bench () =
+  let n = if quick then 100_000 else 1_000_000 in
+  let rate = Sim.Units.mbps 480. in
+  let cfg =
+    {
+      Sim.Population.n;
+      duration = Float.max 5. (float_of_int n *. 45_000. /. (0.7 *. rate *. 0.6));
+      arrival_frac = 0.6;
+      rate;
+      buffer = None;
+      rm = 0.02;
+      mss = 1500;
+      jitter_d = 0.02;
+      seed = 42;
+      key = Printf.sprintf "census/std/reno/jit=20ms/n=%d" n;
+      alpha = 1.5;
+      xm = 15_000.;
+      size_cap = 10_000_000;
+    }
+  in
+  let cols = Columns.create ~nfields:Reno.nfields () in
+  let cca ~slot:_ ~prev =
+    match prev with
+    | Some i -> (
+        match i.Cca.reset with
+        | Some r ->
+            r ();
+            i
+        | None -> assert false)
+    | None -> Reno.make_in cols
+  in
+  Gc.compact ();
+  let base_live = (Gc.stat ()).Gc.live_words in
+  let t0 = Unix.gettimeofday () in
+  let r = Sim.Population.run ~cca cfg in
+  let wall = Unix.gettimeofday () -. t0 in
+  Gc.full_major ();
+  let live_delta = (Gc.stat ()).Gc.live_words - base_live in
+  let bytes_per_flow = float_of_int (live_delta * 8) /. float_of_int n in
+  let flows_per_sec = float_of_int n /. wall in
+  let summary = Sim.Stats.ratio_summary_in_place r.Sim.Population.goodputs in
+  Printf.printf "\n== Census at scale (std cell, reno, columnar, 20 ms jitter) ==\n";
+  Printf.printf "%-34s %25d\n" "flows" n;
+  Printf.printf "%-34s %25.1f\n" "wall seconds" wall;
+  Printf.printf "%-34s %25.0f\n" "flows/sec" flows_per_sec;
+  Printf.printf "%-34s %25d\n" "completed" r.Sim.Population.completed;
+  Printf.printf "%-34s %25d\n" "starved" summary.Sim.Stats.starved;
+  Printf.printf "%-34s %25d\n" "flow slots (peak concurrency)" r.Sim.Population.slots;
+  Printf.printf "%-34s %25d\n" "peak pending events" r.Sim.Population.peak_pending;
+  Printf.printf "%-34s %25d\n" "live words (result held)" live_delta;
+  Printf.printf "%-34s %25.1f\n" "bytes/flow" bytes_per_flow;
+  (n, wall, flows_per_sec, bytes_per_flow, live_delta, r.Sim.Population.completed,
+   summary.Sim.Stats.starved, r.Sim.Population.slots)
+
 let macro_bench () =
   let cfg = macro_config () in
   (* Warm up: code paths, minor heap sizing, series growth. *)
@@ -599,6 +724,13 @@ let macro_bench () =
   in
   let wheel_over_heap_small = fps_wheel_small /. fps_heap_small in
   let wheel_over_heap_big = fps_wheel_big /. fps_heap_big in
+  let crossover = crossover_bench () in
+  let bypass_8 = wheel_bypass_at_8 () in
+  Printf.printf "wheel lazy bypass at 8 flows: %b\n" bypass_8;
+  let ( census_n, census_wall, fps_census, census_bytes_per_flow,
+        census_live_words, census_completed, census_starved, census_slots ) =
+    census_bench ()
+  in
   let json = "BENCH_simulator.json" in
   write_bench_json json
     [
@@ -640,6 +772,16 @@ let macro_bench () =
       ( "baseline_wheel_over_heap_big",
         Printf.sprintf "%.3f" churn_baseline_wheel_over_heap_big );
       ("churn_baseline_commit", Printf.sprintf "%S" churn_baseline_commit);
+      ("wheel_heap_crossover_population", string_of_int crossover);
+      ("wheel_lazy_bypass_8", if bypass_8 then "true" else "false");
+      ("census_population", string_of_int census_n);
+      ("census_wall_sec", Printf.sprintf "%.1f" census_wall);
+      ("flows_per_sec_census", Printf.sprintf "%.1f" fps_census);
+      ("census_completed", string_of_int census_completed);
+      ("census_starved", string_of_int census_starved);
+      ("census_slots", string_of_int census_slots);
+      ("census_live_words", string_of_int census_live_words);
+      ("census_bytes_per_flow", Printf.sprintf "%.1f" census_bytes_per_flow);
     ];
   Printf.printf "wrote %s\n" json
 

@@ -33,6 +33,16 @@ let jobs_arg =
          ~doc:"Worker processes. 1 runs serially in-process; 0 or negative \
                means one per core.")
 
+let pool_arg =
+  Arg.(value
+       & opt (enum [ ("fork", `Fork); ("domain", `Domain) ]) `Fork
+       & info [ "pool" ] ~docv:"BACKEND"
+           ~doc:"Worker pool backend for -j >= 2: $(b,fork) (isolated \
+                 processes; supervised retries, deadlines, per-job stdout \
+                 capture) or $(b,domain) (shared-memory domains in one \
+                 process; unsupervised, for silent census-style jobs — \
+                 output stays byte-identical to -j 1).")
+
 let no_cache_arg =
   Arg.(value & flag & info [ "no-cache" ]
          ~doc:"Re-simulate everything; neither read nor write the run cache \
@@ -252,7 +262,7 @@ let fuzz ~seed ~n ~cache_dir =
 (* Main driver                                                            *)
 (* --------------------------------------------------------------------- *)
 
-let main keys all quick jobs no_cache cache_dir check resume split_run
+let main keys all quick jobs pool no_cache cache_dir check resume split_run
     deadline max_attempts selftest replay_file allow_failures fuzz_n
     fuzz_seed =
   match (selftest, replay_file, fuzz_n) with
@@ -294,8 +304,8 @@ let main keys all quick jobs no_cache cache_dir check resume split_run
           let t0 = Unix.gettimeofday () in
           let rows, stats =
             try
-              Experiments.Registry.run_selection ~quick ~workers ?cache
-                ~policy ?journal ~allow_failures experiments
+              Experiments.Registry.run_selection ~quick ~backend:pool
+                ~workers ?cache ~policy ?journal ~allow_failures experiments
             with Runner.Pool.Job_failed { key; reason } ->
               (* Quarantine / exhausted retries: a distinct exit code so
                  CI can tell "simulator results drifted" (2) from "a job
@@ -325,7 +335,8 @@ let cmd =
   Cmd.v
     (Cmd.info "repro" ~doc)
     Term.(
-      const main $ keys_arg $ all_arg $ quick_arg $ jobs_arg $ no_cache_arg
+      const main $ keys_arg $ all_arg $ quick_arg $ jobs_arg $ pool_arg
+      $ no_cache_arg
       $ cache_dir_arg $ check_arg $ resume_arg $ split_run_arg $ deadline_arg
       $ max_attempts_arg $ selftest_shrink_arg $ replay_arg
       $ allow_failures_arg $ fuzz_arg $ fuzz_seed_arg)

@@ -36,7 +36,15 @@ type t = {
   inspect : unit -> (string * float) list;
 }
 
+type instance = {
+  cca : t;
+  reset : (unit -> unit) option;
+  release : unit -> unit;
+}
+
 let default_mss = 1500
+
+let instance_of ?(release = ignore) cca = { cca; reset = None; release }
 
 let make_stub ?(name = "const-cwnd") ~cwnd_bytes () =
   {

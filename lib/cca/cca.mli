@@ -71,8 +71,25 @@ type t = {
       (** named internals for tracing and tests *)
 }
 
+(** A CCA instance plus its lifecycle hooks, for populations that churn
+    through many short flows.  [reset] re-initializes the instance's
+    state in place so one instance (and its arena row, for columnar
+    constructors like [Reno.make_in]) can serve successive flow
+    incarnations without allocating; [None] means the instance is
+    single-use and a fresh one must be built per flow.  [release]
+    returns any arena rows to their free list; the instance must not be
+    driven afterwards. *)
+type instance = {
+  cca : t;
+  reset : (unit -> unit) option;
+  release : unit -> unit;
+}
+
 val default_mss : int
 (** Default segment size, 1500 bytes, used by all CCAs in this library. *)
+
+val instance_of : ?release:(unit -> unit) -> t -> instance
+(** Wrap a boxed, single-use CCA as an {!instance} ([reset = None]). *)
 
 val make_stub : ?name:string -> cwnd_bytes:float -> unit -> t
 (** A trivial CCA with a fixed window and no pacing — the paper's example of

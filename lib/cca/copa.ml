@@ -133,6 +133,155 @@ let make ?(params = default_params) () =
         ]);
   }
 
+(* --- Columnar variant ---------------------------------------------------- *)
+
+(* Same algorithm as [make] with the float state in one row of a shared
+   {!Columns} arena.  Copa is only partially columnar: the two
+   windowed-minimum deques are inherently variable-length and stay boxed
+   per instance (they are bounded by the window's sample count and are
+   cleared on reset/release).  Direction is encoded 0/1/2 =
+   Unset/Up/Down, the same-direction RTT count and the slow-start flag
+   as small exact floats, so every update below is bit-identical to the
+   boxed path — asserted by the trace-equivalence qcheck property. *)
+
+let nfields = 8
+let f_cwnd = 0
+let f_srtt = 1
+let f_velocity = 2
+let f_direction = 3 (* 0 = Unset, 1 = Up, 2 = Down *)
+let f_same_dir = 4
+let f_epoch_start = 5
+let f_cwnd_at_epoch = 6
+let f_slow_start = 7 (* 1 = slow start *)
+
+let make_in ?(params = default_params) cols =
+  if Columns.nfields cols <> nfields then
+    invalid_arg "Copa.make_in: arena has the wrong number of fields";
+  let mss = float_of_int params.mss in
+  let r = Columns.alloc cols in
+  let min_rtt = Window.Extremum.create_min ~window:params.min_rtt_window in
+  let standing = Window.Extremum.create_min ~window:0.05 in
+  let reset () =
+    Columns.set cols r f_cwnd (params.init_cwnd_packets *. mss);
+    Columns.set cols r f_srtt 0.;
+    Columns.set cols r f_velocity 1.;
+    Columns.set cols r f_direction 0.;
+    Columns.set cols r f_same_dir 0.;
+    Columns.set cols r f_epoch_start 0.;
+    Columns.set cols r f_cwnd_at_epoch 0.;
+    Columns.set cols r f_slow_start 1.;
+    Window.Extremum.clear min_rtt;
+    Window.Extremum.set_window min_rtt params.min_rtt_window;
+    Window.Extremum.clear standing;
+    Window.Extremum.set_window standing 0.05
+  in
+  reset ();
+  let queue_delay () =
+    match (Window.Extremum.get standing, Window.Extremum.get min_rtt) with
+    | Some st, Some mn -> Float.max 0. (st -. mn)
+    | _ -> 0.
+  in
+  let target_rate_pps () =
+    let dq = queue_delay () in
+    if dq <= 0. then infinity else 1. /. (params.delta *. dq)
+  in
+  let current_rate_pps () =
+    match Window.Extremum.get standing with
+    | Some st when st > 0. -> Columns.get cols r f_cwnd /. mss /. st
+    | _ -> 0.
+  in
+  let per_rtt_velocity_update () =
+    let dir =
+      if Columns.get cols r f_cwnd > Columns.get cols r f_cwnd_at_epoch then 1.
+      else 2.
+    in
+    (if Columns.get cols r f_direction = dir then begin
+       let same = Columns.get cols r f_same_dir +. 1. in
+       Columns.set cols r f_same_dir same;
+       if same >= 3. then
+         Columns.set cols r f_velocity
+           (Float.min (Columns.get cols r f_velocity *. 2.) 1e6)
+     end
+     else begin
+       Columns.set cols r f_direction dir;
+       Columns.set cols r f_same_dir 0.;
+       Columns.set cols r f_velocity 1.
+     end);
+    Columns.set cols r f_direction dir;
+    Columns.set cols r f_cwnd_at_epoch (Columns.get cols r f_cwnd)
+  in
+  let on_ack (a : Cca.ack_info) =
+    Window.Extremum.push min_rtt ~time:a.now a.rtt;
+    let srtt0 = Columns.get cols r f_srtt in
+    let srtt =
+      if srtt0 = 0. then a.rtt else (0.875 *. srtt0) +. (0.125 *. a.rtt)
+    in
+    Columns.set cols r f_srtt srtt;
+    Window.Extremum.set_window standing (Float.max (srtt /. 2.) 1e-4);
+    Window.Extremum.push standing ~time:a.now a.rtt;
+    let target = target_rate_pps () in
+    let current = current_rate_pps () in
+    if Columns.get cols r f_slow_start = 1. then begin
+      if current < target then
+        Columns.set cols r f_cwnd
+          (Columns.get cols r f_cwnd +. float_of_int a.acked_bytes)
+      else Columns.set cols r f_slow_start 0.
+    end;
+    if Columns.get cols r f_slow_start <> 1. then begin
+      let cwnd = Columns.get cols r f_cwnd in
+      let cwnd_pkts = Float.max (cwnd /. mss) 1. in
+      let step =
+        Columns.get cols r f_velocity *. mss /. (params.delta *. cwnd_pkts)
+      in
+      let cwnd = if current <= target then cwnd +. step else cwnd -. step in
+      Columns.set cols r f_cwnd (Float.max cwnd (2. *. mss))
+    end;
+    if a.now -. Columns.get cols r f_epoch_start >= srtt && srtt > 0. then begin
+      Columns.set cols r f_epoch_start a.now;
+      per_rtt_velocity_update ()
+    end
+  in
+  let on_loss (l : Cca.loss_info) =
+    match l.kind with
+    | `Timeout -> Columns.set cols r f_cwnd (2. *. mss)
+    | `Dupack ->
+        Columns.set cols r f_cwnd
+          (Float.max (Columns.get cols r f_cwnd /. 2.) (2. *. mss))
+  in
+  let pacing_rate () =
+    match Window.Extremum.get standing with
+    | Some st when st > 0. -> Some (2. *. Columns.get cols r f_cwnd /. st)
+    | _ -> None
+  in
+  let cca =
+    {
+      Cca.name = "copa";
+      on_ack;
+      on_loss;
+      on_send = (fun _ -> ());
+      on_timer = (fun _ -> ());
+      next_timer = (fun () -> None);
+      cwnd = (fun () -> Columns.get cols r f_cwnd);
+      pacing_rate;
+      inspect =
+        (fun () ->
+          [
+            ("cwnd", Columns.get cols r f_cwnd);
+            ("min_rtt", Window.Extremum.get_default min_rtt nan);
+            ("standing_rtt", Window.Extremum.get_default standing nan);
+            ("queue_delay", queue_delay ());
+            ("velocity", Columns.get cols r f_velocity);
+            ("target_pps", target_rate_pps ());
+          ]);
+    }
+  in
+  let release () =
+    Window.Extremum.clear min_rtt;
+    Window.Extremum.clear standing;
+    Columns.free cols r
+  in
+  { Cca.cca; reset = Some reset; release }
+
 let equilibrium_queue_delay p ~rate = float_of_int p.mss /. (p.delta *. rate)
 
 let delay_band p ~rate ~rm =

@@ -15,6 +15,75 @@ type state = {
   mutable last_rtt : float;
 }
 
+(* --- Columnar variant ---------------------------------------------------- *)
+
+(* Same algorithm as [make], with the mutable record replaced by one row
+   of a shared {!Columns} arena.  The two implementations are kept
+   textually parallel on purpose: a qcheck property asserts they are
+   trace-equivalent (byte-identical census output), so any drift between
+   them is caught, and the boxed path remains the readable reference. *)
+
+let nfields = 4
+let f_cwnd = 0
+let f_ssthresh = 1
+let f_recovery = 2
+let f_last_rtt = 3
+
+let make_in ?(params = default_params) cols =
+  if Columns.nfields cols <> nfields then
+    invalid_arg "Reno.make_in: arena has the wrong number of fields";
+  let mss = float_of_int params.mss in
+  let r = Columns.alloc cols in
+  let reset () =
+    Columns.set cols r f_cwnd (params.init_cwnd_packets *. mss);
+    Columns.set cols r f_ssthresh params.initial_ssthresh;
+    Columns.set cols r f_recovery neg_infinity;
+    Columns.set cols r f_last_rtt 0.
+  in
+  reset ();
+  let on_ack (a : Cca.ack_info) =
+    Columns.set cols r f_last_rtt a.rtt;
+    let acked = float_of_int a.acked_bytes in
+    let cwnd = Columns.get cols r f_cwnd in
+    if cwnd < Columns.get cols r f_ssthresh then
+      Columns.set cols r f_cwnd (cwnd +. acked)
+    else Columns.set cols r f_cwnd (cwnd +. (mss *. acked /. cwnd))
+  in
+  let on_loss (l : Cca.loss_info) =
+    if l.now >= Columns.get cols r f_recovery then begin
+      Columns.set cols r f_recovery
+        (l.now +. Float.max (Columns.get cols r f_last_rtt) 0.01);
+      match l.kind with
+      | `Dupack ->
+          let ss = Float.max (Columns.get cols r f_cwnd /. 2.) (2. *. mss) in
+          Columns.set cols r f_ssthresh ss;
+          Columns.set cols r f_cwnd ss
+      | `Timeout ->
+          Columns.set cols r f_ssthresh
+            (Float.max (Columns.get cols r f_cwnd /. 2.) (2. *. mss));
+          Columns.set cols r f_cwnd mss
+    end
+  in
+  let cca =
+    {
+      Cca.name = "reno";
+      on_ack;
+      on_loss;
+      on_send = (fun _ -> ());
+      on_timer = (fun _ -> ());
+      next_timer = (fun () -> None);
+      cwnd = (fun () -> Columns.get cols r f_cwnd);
+      pacing_rate = (fun () -> None);
+      inspect =
+        (fun () ->
+          [
+            ("cwnd", Columns.get cols r f_cwnd);
+            ("ssthresh", Columns.get cols r f_ssthresh);
+          ]);
+    }
+  in
+  { Cca.cca; reset = Some reset; release = (fun () -> Columns.free cols r) }
+
 let make ?(params = default_params) () =
   let mss = float_of_int params.mss in
   let s =

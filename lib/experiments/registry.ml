@@ -120,16 +120,21 @@ let rec take_drop n = function
       let taken, left = take_drop (n - 1) rest in
       (x :: taken, left)
 
-let run_selection ?(quick = false) ?(workers = 1) ?cache ?timeout ?policy
-    ?journal ?(allow_failures = false) experiments =
+let run_selection ?(quick = false) ?(backend = `Fork) ?(workers = 1) ?cache
+    ?timeout ?policy ?journal ?(allow_failures = false) experiments =
   let plans = List.map (fun e -> (e, e.plan ~quick)) experiments in
   let jobs = List.concat_map (fun (_, p) -> p.jobs) plans in
   let results, stats =
-    match (policy, journal) with
-    | None, None ->
-        let results, stats = Runner.Pool.run ~workers ?timeout ?cache jobs in
+    match (backend, policy, journal) with
+    (* The domain backend is unsupervised by construction (no process
+       boundary to retry or deadline across), so it always takes the
+       plain pool path, whatever policy/journal the caller set up. *)
+    | `Domain, _, _ | `Fork, None, None ->
+        let results, stats =
+          Runner.Pool.run ~backend ~workers ?timeout ?cache jobs
+        in
         (List.map (fun (out, payload) -> (out, Some payload)) results, stats)
-    | _ ->
+    | `Fork, _, _ ->
         (* Supervised path: retries/quarantine/resume.  The merge layer
            needs every payload, so a quarantined job is a hard failure
            here unless [allow_failures] — but only after the rest of the

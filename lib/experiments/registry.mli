@@ -35,6 +35,7 @@ val find : string -> experiment option
 
 val run_selection :
   ?quick:bool ->
+  ?backend:Runner.Pool.backend ->
   ?workers:int ->
   ?cache:Runner.Cache.t ->
   ?timeout:float ->
@@ -47,6 +48,11 @@ val run_selection :
     1 = serial in-process), printing each experiment's output and table in
     registry order; returns the concatenated rows and the pool counters.
     Output is byte-identical for any worker count and for cached re-runs.
+
+    [backend] selects how [workers >= 2] are realized (see
+    {!Runner.Pool.backend}); [`Domain] runs the plain unsupervised pool
+    regardless of [policy]/[journal], since supervision is built on the
+    process boundary.
 
     Giving [policy] and/or [journal] routes the matrix through
     {!Runner.Supervise.run}: per-attempt deadlines and heap ceilings,

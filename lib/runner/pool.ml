@@ -8,6 +8,8 @@ type stats = {
   resumed : int;
 }
 
+type backend = [ `Fork | `Domain ]
+
 exception Job_failed of { key : string; reason : string }
 exception Heap_ceiling_exceeded of { limit : int; reached : int }
 
@@ -169,6 +171,87 @@ let run_serial ?cache ?(on_done = fun _ -> ()) jobs =
   ( results,
     {
       jobs = List.length jobs;
+      cache_hits = !hits;
+      executed = !executed;
+      respawns = 0;
+      retried = 0;
+      quarantined = 0;
+      resumed = 0;
+    } )
+
+(* ------------------------------------------------------------------ *)
+(* Domain-based backend                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared-memory parallelism for jobs that are *silent* on stdout: fd
+   redirection is process-global, so per-job stdout capture cannot work
+   across concurrent domains — fresh jobs report "" and the cache records
+   "".  Census-style jobs print nothing (their tables are built by the
+   merge in the parent), which is what keeps -j 1, fork and domain runs
+   byte-identical.  Crash isolation, per-attempt timeouts and heap
+   ceilings remain fork-only — a domain that dies takes the process with
+   it — so [`Fork] stays the fallback for untrusted jobs.
+
+   Each [results] slot is written by exactly one domain and read by the
+   parent only after [Domain.join], which establishes the happens-before
+   edge; the only shared mutable cell during the run is the [Atomic] work
+   counter. *)
+let run_domains ~workers ?cache ?(on_done = fun _ -> ()) jobs_list =
+  let jobs = Array.of_list jobs_list in
+  let n = Array.length jobs in
+  let results : (bytes, string) result option array = Array.make n None in
+  let outs = Array.make n "" in
+  let hits = ref 0 in
+  let todo = ref [] in
+  for i = n - 1 downto 0 do
+    match Option.bind cache (fun c -> Cache.find c ~key:(Job.key jobs.(i))) with
+    | Some (out, payload) ->
+        results.(i) <- Some (Ok payload);
+        outs.(i) <- out;
+        incr hits;
+        on_done jobs.(i)
+    | None -> todo := i :: !todo
+  done;
+  let todo = Array.of_list !todo in
+  let next = Atomic.make 0 in
+  let work () =
+    let rec loop () =
+      let k = Atomic.fetch_and_add next 1 in
+      if k < Array.length todo then begin
+        let i = todo.(k) in
+        results.(i) <-
+          Some
+            (try Ok (Job.force jobs.(i))
+             with e -> Error (Printexc.to_string e));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers =
+    Array.init
+      (max 0 (min (workers - 1) (Array.length todo - 1)))
+      (fun _ -> Domain.spawn work)
+  in
+  work ();
+  Array.iter Domain.join helpers;
+  (* Merge parent-side, in job order: cache stores and completion
+     callbacks happen in the same deterministic order as a serial run. *)
+  let executed = ref 0 in
+  Array.iter
+    (fun i ->
+      match results.(i) with
+      | Some (Ok payload) ->
+          incr executed;
+          Option.iter
+            (fun c -> Cache.store c ~key:(Job.key jobs.(i)) ~stdout:"" ~payload)
+            cache;
+          on_done jobs.(i)
+      | Some (Error _) | None -> ())
+    todo;
+  ( Array.to_list (Array.mapi (fun i r -> (outs.(i), Option.get r)) results),
+    {
+      jobs = n;
       cache_hits = !hits;
       executed = !executed;
       respawns = 0;
@@ -358,16 +441,21 @@ let run_parallel ~workers ~timeout ?cache ~max_attempts ?heap_ceiling
         finish ())
   end
 
-let run_results ?(workers = 1) ?timeout ?cache ?(max_attempts = 2)
-    ?heap_ceiling_words ?on_done jobs =
+let run_results ?(backend = `Fork) ?(workers = 1) ?timeout ?cache
+    ?(max_attempts = 2) ?heap_ceiling_words ?on_done jobs =
   if workers <= 1 then run_serial ?cache ?on_done jobs
   else
-    run_parallel ~workers ~timeout ?cache ~max_attempts
-      ?heap_ceiling:heap_ceiling_words ?on_done jobs
+    match backend with
+    | `Fork ->
+        run_parallel ~workers ~timeout ?cache ~max_attempts
+          ?heap_ceiling:heap_ceiling_words ?on_done jobs
+    | `Domain -> run_domains ~workers ?cache ?on_done jobs
 
-let run ?workers ?timeout ?cache ?max_attempts ?heap_ceiling_words jobs =
+let run ?backend ?workers ?timeout ?cache ?max_attempts ?heap_ceiling_words
+    jobs =
   let results, stats =
-    run_results ?workers ?timeout ?cache ?max_attempts ?heap_ceiling_words jobs
+    run_results ?backend ?workers ?timeout ?cache ?max_attempts
+      ?heap_ceiling_words jobs
   in
   let results =
     List.map2

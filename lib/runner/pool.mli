@@ -51,7 +51,34 @@ val default_workers : unit -> int
 (** Parallelism matching the machine (the runtime's recommended domain
     count). *)
 
+(** How parallel workers are realized when [workers >= 2]:
+
+    - [`Fork] (the default): isolated child processes.  Full feature set
+      — per-job stdout capture, crash respawns, per-attempt [timeout],
+      [heap_ceiling_words] — at the cost of a fork per worker and a
+      [Marshal] round-trip per result.
+    - [`Domain]: shared-memory domains in this process, work-stealing off
+      one atomic counter.  No fork, no pipe, no marshalling across a
+      process boundary — but also no isolation: [timeout],
+      [max_attempts] and [heap_ceiling_words] are ignored (a stuck or
+      crashing job takes the whole run down), and since fd redirection
+      is process-global there is {e no per-job stdout capture}: fresh
+      jobs report [""] and the cache records [""].  Only hand this
+      backend jobs that print nothing (the census cells, whose tables
+      are built by the merge); such runs stay byte-identical to [-j 1]
+      and to [`Fork].
+
+    The two backends do not mix within one process: on OCaml 5,
+    [Unix.fork] is disallowed for the rest of the process once any
+    domain has been spawned, so after the first [`Domain] run a
+    [`Fork] run can only be served from the cache.  Pick one backend
+    per process (the CLI's [--pool] does exactly that).
+
+    Serial runs ([workers <= 1]) ignore the backend entirely. *)
+type backend = [ `Fork | `Domain ]
+
 val run_results :
+  ?backend:backend ->
   ?workers:int ->
   ?timeout:float ->
   ?cache:Cache.t ->
@@ -72,6 +99,7 @@ val run_results :
     completions incrementally so a killed run can resume. *)
 
 val run :
+  ?backend:backend ->
   ?workers:int ->
   ?timeout:float ->
   ?cache:Cache.t ->

@@ -41,6 +41,14 @@ val fallbacks : 'a t -> int
     for every jitter policy shipped today (the element clamps releases to
     monotone). *)
 
+val reset_last_due : 'a t -> unit
+(** Forget the monotonicity watermark.  Only legal while the line is
+    empty (nothing queued to overtake): a recycled per-flow line serves
+    a fresh flow whose release times restart below the previous
+    incarnation's watermark, and without the reset every push of the new
+    flow would take the per-packet fallback path.
+    @raise Invalid_argument if the line is non-empty. *)
+
 val fold_state : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a t -> unit
 (** [fold_state item buf t] appends the queued payloads (via [item], in
     delivery order, with their due times) and the line's counters to a

@@ -169,6 +169,12 @@ type t = {
   wheel_threshold : int;
   mutable now : float;
   mutable next_seq : int;
+  (* Total events queued across the three containers, maintained by
+     insert / cancel / pop.  Makes [pending] O(1) and — more
+     importantly — turns the per-insertion small-queue bypass check into
+     a single int compare instead of an option match plus three loads,
+     which is what kept tiny populations at parity with the pure heap. *)
+  mutable count : int;
   mutable step_hook : (float -> unit) option;
 }
 
@@ -189,6 +195,7 @@ let create ?(backend = Wheel) ?(wheel_threshold = default_wheel_threshold)
     wheel_threshold;
     now = start;
     next_seq = 0;
+    count = 0;
     step_hook = None;
   }
 
@@ -212,9 +219,8 @@ let backend t = t.backend
 let set_step_hook t f = t.step_hook <- f
 let now t = t.now
 
-let pending t =
-  t.due.hsize + t.overflow.hsize
-  + (match t.wheel with None -> 0 | Some w -> Timer_wheel.size w)
+let pending t = t.count
+let wheel_allocated t = t.wheel <> None
 
 let validate t at =
   if not (Float.is_finite at) then
@@ -226,14 +232,11 @@ let validate t at =
 let insert t h ~at =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
+  t.count <- t.count + 1;
   match t.backend with
   | Heap -> hpush t.overflow h ~time:at ~seq
   | Wheel ->
-      let wsize =
-        match t.wheel with None -> 0 | Some w -> Timer_wheel.size w
-      in
-      if t.due.hsize + t.overflow.hsize + wsize < t.wheel_threshold then
-        hpush t.overflow h ~time:at ~seq
+      if t.count <= t.wheel_threshold then hpush t.overflow h ~time:at ~seq
       else (
         match Timer_wheel.add (wheel_of t) ~time:at ~seq h with
         | Timer_wheel.Placed -> () (* the wheel's move callback filed it *)
@@ -248,14 +251,21 @@ let schedule_after t ~delay action =
   schedule t ~at:(t.now +. Float.max 0. delay) action
 
 let cancel t h =
-  if h.where = in_due then hremove t.due h
-  else if h.where = in_overflow then hremove t.overflow h
+  if h.where = in_due then begin
+    hremove t.due h;
+    t.count <- t.count - 1
+  end
+  else if h.where = in_overflow then begin
+    hremove t.overflow h;
+    t.count <- t.count - 1
+  end
   else if h.where = in_wheel then begin
     (match t.wheel with
     | Some w -> Timer_wheel.remove w ~slot:h.wslot ~idx:h.pos
     | None -> assert false);
     h.where <- idle;
-    h.pos <- idle
+    h.pos <- idle;
+    t.count <- t.count - 1
   end
 
 let schedule_handle t h ~at =
@@ -329,6 +339,7 @@ let step t =
        every sift path; a predicted branch costs nothing. *)
     (match t.step_hook with None -> () | Some f -> f t.now);
     let h = hpop hp in
+    t.count <- t.count - 1;
     h.action ();
     true
   end
@@ -340,6 +351,7 @@ let run_until t horizon =
       if hp.htimes.(0) <> t.now then t.now <- hp.htimes.(0);
       (match t.step_hook with None -> () | Some f -> f t.now);
       let h = hpop hp in
+      t.count <- t.count - 1;
       h.action ();
       loop ()
     end

@@ -66,7 +66,15 @@ val schedule_after : t -> delay:float -> (unit -> unit) -> unit
 (** Schedule relative to [now].  Negative delays are clamped to [0.]. *)
 
 val pending : t -> int
-(** Number of events not yet executed. *)
+(** Number of events not yet executed.  O(1): maintained as a counter
+    rather than summing the containers, so hot paths can gate on queue
+    size per insertion. *)
+
+val wheel_allocated : t -> bool
+(** Whether the lazy timer wheel has been materialized.  Always [false]
+    under the {!Heap} backend; under {!Wheel} it stays [false] while the
+    queue has never outgrown [wheel_threshold] — the small-population
+    bypass the bench suite verifies. *)
 
 val step : t -> bool
 (** Run the next event.  Returns [false] when the queue is empty. *)

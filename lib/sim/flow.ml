@@ -22,6 +22,12 @@ module Table = struct
        contract forbids retaining the record beyond the callback. *)
     ack_scratch : Cca.ack_info;
     send_scratch : Cca.send_info;
+    (* Freed rows awaiting reuse (a stack).  A churning population
+       allocates one row per concurrent flow, not per flow ever started:
+       without recycling a million-flow census would grow the table to
+       10^6 rows for a peak concurrency of a few thousand. *)
+    mutable free_rows : int array;
+    mutable nfree : int;
   }
 
   let create ?(capacity = 16) () =
@@ -47,9 +53,12 @@ module Table = struct
           ecn_ce = false;
         };
       send_scratch = { Cca.now = 0.; sent_bytes = 0; inflight = 0 };
+      free_rows = [||];
+      nfree = 0;
     }
 
   let flows t = t.n
+  let capacity t = t.cap
 
   let grow t =
     let cap = 2 * t.cap in
@@ -66,31 +75,64 @@ module Table = struct
     t.cap <- cap
 
   let alloc t ~start_time =
-    if t.n = t.cap then grow t;
-    let ix = t.n in
-    t.n <- ix + 1;
+    let ix =
+      if t.nfree > 0 then begin
+        t.nfree <- t.nfree - 1;
+        t.free_rows.(t.nfree)
+      end
+      else begin
+        if t.n = t.cap then grow t;
+        let ix = t.n in
+        t.n <- ix + 1;
+        ix
+      end
+    in
     t.next_send_time.(ix) <- 0.;
     t.last_progress.(ix) <- start_time;
     t.srtt.(ix) <- 0.;
     t.rttvar.(ix) <- 0.;
     t.done_time.(ix) <- nan;
     ix
+
+  let free t ix =
+    if ix < 0 || ix >= t.n then invalid_arg "Flow.Table.free: row out of range";
+    if t.nfree = Array.length t.free_rows then begin
+      let cap = max 16 (2 * Array.length t.free_rows) in
+      let b = Array.make cap 0 in
+      Array.blit t.free_rows 0 b 0 t.nfree;
+      t.free_rows <- b
+    end;
+    t.free_rows.(t.nfree) <- ix;
+    t.nfree <- t.nfree + 1
 end
+
+(* Per-ACK history the analysis layer reads.  Optional as a group: a
+   census flow ([record_series = false], no [inspect_period]) carries
+   [None] and pays one word for the whole block — at 10^5+ concurrent
+   flows the four series/table headers per flow were a measurable slice
+   of the bytes-per-flow budget. *)
+type traces = {
+  rtt_series : Series.t;
+  cwnd_series : Series.t;
+  delivered_series : Series.t;
+  inspect_tbl : (string, Series.t) Hashtbl.t;
+  mutable inspect_keys : string list; (* insertion order, newest first *)
+}
 
 type t = {
   id : int;
   mss : int;
-  cca : Cca.t;
+  mutable cca : Cca.t;
   eq : Event_queue.t;
   transmit : Packet.t -> unit;
-  start_time : float;
+  mutable start_time : float;
   stop_time : float option;
   min_rto : float;
   initial_pacing : float option;
   tbl : Table.t;
   ix : int; (* this flow's row in [tbl] *)
-  size_bytes : int option; (* application bytes to send; None = unbounded *)
-  seg_limit : int; (* first seq not to send; max_int when unbounded *)
+  mutable size_bytes : int option; (* application bytes to send; None = unbounded *)
+  mutable seg_limit : int; (* first seq not to send; max_int when unbounded *)
   on_complete : (unit -> unit) option;
   mutable got_first_ack : bool;
   (* Outstanding-segment table: a ring of unboxed arrays indexed by
@@ -109,6 +151,7 @@ type t = {
   mutable delivered : int;
   mutable lost : int;
   mutable highest_acked : int; (* largest acked seq; -1 initially *)
+  start_h : Event_queue.handle; (* flow start (re-armed by respawn) *)
   send_h : Event_queue.handle; (* paced-send wakeup *)
   timer_h : Event_queue.handle; (* CCA timer *)
   rto_h : Event_queue.handle; (* retransmission-timeout check *)
@@ -116,11 +159,7 @@ type t = {
   mutable degraded : int; (* insane CCA outputs clamped *)
   mutable stall_probes : int; (* forced probe segments after a stall *)
   record_series : bool;
-  rtt_series : Series.t;
-  cwnd_series : Series.t;
-  delivered_series : Series.t;
-  inspect_tbl : (string, Series.t) Hashtbl.t;
-  mutable inspect_keys : string list; (* insertion order *)
+  traces : traces option;
 }
 
 let dupack_threshold = 3
@@ -138,7 +177,15 @@ let sent_bytes t = t.next_seq * t.mss
 let delivered_bytes t = t.delivered
 let lost_bytes t = t.lost
 let inflight t = t.inflight
-let rtt_series t = t.rtt_series
+
+(* Trace accessors degrade gracefully for traceless (census) flows: a
+   fresh empty series, not an exception — callers treat "no trace" and
+   "no samples" identically. *)
+let rtt_series t =
+  match t.traces with
+  | Some tr -> tr.rtt_series
+  | None -> Series.create ~name:(Printf.sprintf "flow%d.rtt" t.id) ()
+
 let degraded_count t = t.degraded
 let stall_probes t = t.stall_probes
 let size_bytes t = t.size_bytes
@@ -157,11 +204,22 @@ let outstanding_bytes t =
   !acc
 
 let inspect_series t =
-  (* [inspect_keys] is newest-first; report in insertion order. *)
-  List.rev t.inspect_keys
-  |> List.map (fun k -> (k, Hashtbl.find t.inspect_tbl k))
-let cwnd_series t = t.cwnd_series
-let delivered_series t = t.delivered_series
+  match t.traces with
+  | None -> []
+  | Some tr ->
+      (* [inspect_keys] is newest-first; report in insertion order. *)
+      List.rev tr.inspect_keys
+      |> List.map (fun k -> (k, Hashtbl.find tr.inspect_tbl k))
+
+let cwnd_series t =
+  match t.traces with
+  | Some tr -> tr.cwnd_series
+  | None -> Series.create ~name:(Printf.sprintf "flow%d.cwnd" t.id) ()
+
+let delivered_series t =
+  match t.traces with
+  | Some tr -> tr.delivered_series
+  | None -> Series.create ~name:(Printf.sprintf "flow%d.delivered" t.id) ()
 
 let now t = Event_queue.now t.eq
 
@@ -180,7 +238,9 @@ let rto t =
    seqs — no slot in [min_out, next_seq) aliases another. *)
 let grow_outstanding t =
   let old_mask = Array.length t.out_size - 1 in
-  let cap = 2 * Array.length t.out_size in
+  (* Rings start empty ([||]) so an armed-but-never-sending flow costs
+     nothing; the first send lands here and allocates the initial 16. *)
+  let cap = max initial_ring (2 * Array.length t.out_size) in
   let sent = Array.make cap 0. in
   let size = Array.make cap 0 in
   let dats = Array.make cap 0 in
@@ -390,31 +450,48 @@ and check_rto t =
   maybe_complete t
 
 let sample_inspect t =
-  List.iter
-    (fun (k, v) ->
-      let s =
-        match Hashtbl.find_opt t.inspect_tbl k with
-        | Some s -> s
-        | None ->
-            let s = Series.create ~name:k () in
-            Hashtbl.replace t.inspect_tbl k s;
-            t.inspect_keys <- k :: t.inspect_keys;
-            s
-      in
-      if Float.is_finite v then Series.add s ~time:(now t) v)
-    (t.cca.Cca.inspect ())
+  match t.traces with
+  | None -> ()
+  | Some tr ->
+      List.iter
+        (fun (k, v) ->
+          let s =
+            match Hashtbl.find_opt tr.inspect_tbl k with
+            | Some s -> s
+            | None ->
+                let s = Series.create ~name:k () in
+                Hashtbl.replace tr.inspect_tbl k s;
+                tr.inspect_keys <- k :: tr.inspect_keys;
+                s
+          in
+          if Float.is_finite v then Series.add s ~time:(now t) v)
+        (t.cca.Cca.inspect ())
+
+let seg_limit_of ~mss size_bytes =
+  match size_bytes with
+  | None -> max_int
+  | Some b ->
+      if b <= 0 then invalid_arg "Flow.create: size_bytes must be positive";
+      max 1 ((b + mss - 1) / mss)
 
 let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
     ?(min_rto = 0.2) ?initial_pacing ?inspect_period ?(record_series = true)
     ?table ?size_bytes ?on_complete ~transmit () =
   let tbl = match table with Some tb -> tb | None -> Table.create ~capacity:1 () in
   let ix = Table.alloc tbl ~start_time in
-  let seg_limit =
-    match size_bytes with
-    | None -> max_int
-    | Some b ->
-        if b <= 0 then invalid_arg "Flow.create: size_bytes must be positive";
-        max 1 ((b + mss - 1) / mss)
+  let seg_limit = seg_limit_of ~mss size_bytes in
+  let traces =
+    if record_series || inspect_period <> None then
+      Some
+        {
+          rtt_series = Series.create ~name:(Printf.sprintf "flow%d.rtt" id) ();
+          cwnd_series = Series.create ~name:(Printf.sprintf "flow%d.cwnd" id) ();
+          delivered_series =
+            Series.create ~name:(Printf.sprintf "flow%d.delivered" id) ();
+          inspect_tbl = Hashtbl.create 1;
+          inspect_keys = [];
+        }
+    else None
   in
   let t =
     {
@@ -433,15 +510,16 @@ let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
       seg_limit;
       on_complete;
       got_first_ack = false;
-      out_sent = Array.make initial_ring 0.;
-      out_size = Array.make initial_ring 0;
-      out_dats = Array.make initial_ring 0;
+      out_sent = [||];
+      out_size = [||];
+      out_dats = [||];
       next_seq = 0;
       min_out = 0;
       inflight = 0;
       delivered = 0;
       lost = 0;
       highest_acked = -1;
+      start_h = Event_queue.handle ignore;
       send_h = Event_queue.handle ignore;
       timer_h = Event_queue.handle ignore;
       rto_h = Event_queue.handle ignore;
@@ -449,24 +527,21 @@ let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
       degraded = 0;
       stall_probes = 0;
       record_series;
-      rtt_series = Series.create ~name:(Printf.sprintf "flow%d.rtt" id) ();
-      cwnd_series = Series.create ~name:(Printf.sprintf "flow%d.cwnd" id) ();
-      delivered_series = Series.create ~name:(Printf.sprintf "flow%d.delivered" id) ();
-      inspect_tbl = Hashtbl.create 1;
-      inspect_keys = [];
+      traces;
     }
   in
   Event_queue.set_action t.send_h (fun () -> maybe_send t);
   Event_queue.set_action t.timer_h (fun () -> fire_timer t);
   Event_queue.set_action t.rto_h (fun () -> check_rto t);
-  Event_queue.schedule eq ~at:start_time (fun () ->
+  Event_queue.set_action t.start_h (fun () ->
       t.running <- true;
-      t.tbl.Table.next_send_time.(t.ix) <- start_time;
+      t.tbl.Table.next_send_time.(t.ix) <- t.start_time;
       maybe_send t;
       (* Watchdog: if the CCA refused the very first send, the stall
          probe in [check_rto] gets the flow moving after one RTO. *)
       if t.inflight = 0 then schedule_rto t;
       sync_timer t);
+  Event_queue.schedule_handle eq t.start_h ~at:start_time;
   (match inspect_period with
   | Some period when period > 0. ->
       let rec sample () =
@@ -478,6 +553,49 @@ let create ~eq ~id ~cca ?(mss = Cca.default_mss) ?(start_time = 0.) ?stop_time
       Event_queue.schedule eq ~at:start_time sample
   | Some _ | None -> ());
   t
+
+(* Reincarnate a completed sized flow as a brand-new one, in place: same
+   id (and therefore the same [Packet.flow] tag), same table row, same
+   rings and handles — zero allocation beyond what the new CCA needed.
+   This is the churn discipline of the million-flow census: a slot hosts
+   thousands of flows over a run, and the event-operation sequence it
+   produces is identical to destroying the flow and [create]ing a fresh
+   one (one insert for the start event; the rings are provably all-zero
+   at completion, so no clearing is needed — every slot is zeroed when
+   its segment is acked or declared lost, and completion requires
+   [inflight = 0]). *)
+let respawn t ~cca ~start_time ?size_bytes () =
+  if not (completed t) then invalid_arg "Flow.respawn: flow has not completed";
+  (match t.traces with
+  | Some _ ->
+      (* Traces would silently concatenate incarnations; a census flow
+         never records them, so reject rather than mislead. *)
+      invalid_arg "Flow.respawn: flow records traces"
+  | None -> ());
+  Event_queue.cancel t.eq t.start_h;
+  Event_queue.cancel t.eq t.send_h;
+  Event_queue.cancel t.eq t.timer_h;
+  Event_queue.cancel t.eq t.rto_h;
+  t.cca <- cca;
+  t.start_time <- start_time;
+  t.size_bytes <- size_bytes;
+  t.seg_limit <- seg_limit_of ~mss:t.mss size_bytes;
+  t.got_first_ack <- false;
+  t.next_seq <- 0;
+  t.min_out <- 0;
+  t.inflight <- 0;
+  t.delivered <- 0;
+  t.lost <- 0;
+  t.highest_acked <- -1;
+  t.running <- false;
+  t.degraded <- 0;
+  t.stall_probes <- 0;
+  t.tbl.Table.next_send_time.(t.ix) <- 0.;
+  t.tbl.Table.last_progress.(t.ix) <- start_time;
+  t.tbl.Table.srtt.(t.ix) <- 0.;
+  t.tbl.Table.rttvar.(t.ix) <- 0.;
+  t.tbl.Table.done_time.(t.ix) <- nan;
+  Event_queue.schedule_handle t.eq t.start_h ~at:start_time
 
 (* Advance the lower bound on outstanding sequence numbers past every
    acked / lost hole.  Each seq is crossed at most once over the flow's
@@ -555,11 +673,12 @@ let finish_ack t ~(newest : Packet.t) ~acked_bytes ~any_ce =
   a.Cca.app_limited <- newest.Packet.app_limited;
   a.Cca.ecn_ce <- any_ce;
   t.cca.Cca.on_ack a;
-  if t.record_series then begin
-    Series.add t.rtt_series ~time rtt;
-    Series.add t.cwnd_series ~time (t.cca.Cca.cwnd ());
-    Series.add t.delivered_series ~time (float_of_int t.delivered)
-  end;
+  (match t.traces with
+  | Some tr when t.record_series ->
+      Series.add tr.rtt_series ~time rtt;
+      Series.add tr.cwnd_series ~time (t.cca.Cca.cwnd ());
+      Series.add tr.delivered_series ~time (float_of_int t.delivered)
+  | Some _ | None -> ());
   detect_losses t;
   sync_timer t;
   maybe_send t;
@@ -655,18 +774,22 @@ let fold_state buf t =
       Statebuf.i buf t.out_dats.(i)
     end
   done;
-  Series.fold_state buf t.rtt_series;
-  Series.fold_state buf t.cwnd_series;
-  Series.fold_state buf t.delivered_series;
-  List.iter
-    (fun k -> Series.fold_state buf (Hashtbl.find t.inspect_tbl k))
-    (List.rev t.inspect_keys)
+  match t.traces with
+  | None -> ()
+  | Some tr ->
+      Series.fold_state buf tr.rtt_series;
+      Series.fold_state buf tr.cwnd_series;
+      Series.fold_state buf tr.delivered_series;
+      List.iter
+        (fun k -> Series.fold_state buf (Hashtbl.find tr.inspect_tbl k))
+        (List.rev tr.inspect_keys)
 
 let throughput t ~t0 ~t1 =
   if t1 <= t0 then 0.
   else begin
+    let ds = delivered_series t in
     let at q =
-      match Series.value_at t.delivered_series q with Some v -> v | None -> 0.
+      match Series.value_at ds q with Some v -> v | None -> 0.
     in
     (at t1 -. at t0) /. (t1 -. t0)
   end
@@ -684,8 +807,9 @@ let goodput t ~horizon =
 
 let rate_series t ~window =
   let out = Series.create ~name:(Printf.sprintf "flow%d.rate" t.id) () in
-  let times = Series.times t.delivered_series in
-  let values = Series.values t.delivered_series in
+  let ds = delivered_series t in
+  let times = Series.times ds in
+  let values = Series.values ds in
   let n = Array.length times in
   let j = ref 0 in
   for i = 0 to n - 1 do

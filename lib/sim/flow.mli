@@ -34,7 +34,19 @@ module Table : sig
       [capacity] (default 16) merely pre-sizes them. *)
 
   val flows : t -> int
-  (** Rows allocated so far. *)
+  (** Rows ever allocated (monotone; recycled rows are not re-counted). *)
+
+  val capacity : t -> int
+  (** Current row capacity of the backing arrays.  With row recycling a
+      churning population's capacity is bounded by its {e peak
+      concurrency}, not by how many flows ever existed — the recycling
+      test pins this. *)
+
+  val free : t -> int -> unit
+  (** Return a row to the free list for reuse by a later [alloc].  The
+      caller must ensure no live flow still owns the row ({!Flow.respawn}
+      reuses a completed flow's row in place and does {e not} free it).
+      @raise Invalid_argument if the row was never allocated. *)
 end
 
 val create :
@@ -76,6 +88,20 @@ val create :
     sends; [on_complete] fires once when a sized flow completes.  The
     flow does not retransmit, so "complete" means every segment was
     acked or declared lost. *)
+
+val respawn : t -> cca:Cca.t -> start_time:float -> ?size_bytes:int -> unit -> unit
+(** Reincarnate a {!completed} sized flow as a new flow in place: same
+    id, table row, outstanding rings and event handles, new CCA, start
+    time and byte budget.  Counters, the RTT estimator and completion
+    state are reset exactly as {!create} initializes them, and the start
+    event is re-armed, so the observable event sequence is identical to
+    destroying the flow and creating a fresh one — but nothing is
+    allocated.  This is what lets a census run one million flows through
+    a few thousand flow slots.  Only legal on flows created with
+    [record_series = false] and no [inspect_period] (traces would
+    silently concatenate incarnations).
+    @raise Invalid_argument if the flow has not completed or records
+    traces. *)
 
 val id : t -> int
 val cca : t -> Cca.t

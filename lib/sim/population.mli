@@ -1,0 +1,55 @@
+(** Churning flow population over one bottleneck — the census engine.
+
+    Runs [n] finite flows (Poisson arrivals over the first
+    [arrival_frac] of the horizon, Pareto sizes) through a pool of
+    recycled flow slots sized by {e peak concurrency}, not by [n]: a
+    departed flow's slot — [Flow.t], outstanding rings, ACK delay line,
+    columnar CCA row — is reincarnated in place ({!Flow.respawn}) for
+    the next arrival.  Memory and event-queue size scale with the
+    birth-death process's concurrency bound, which is what makes a
+    one-million-flow census fit one machine; see DESIGN.md §13.
+
+    The run is deterministic: arrivals and sizes come from
+    order-independent labeled RNG streams keyed by [(seed, key)], so the
+    population is identical no matter how slots happen to be recycled. *)
+
+type config = {
+  n : int;  (** flows to spawn *)
+  duration : float;  (** simulated horizon, seconds *)
+  arrival_frac : float;  (** arrivals occur in [0, arrival_frac * duration] *)
+  rate : float;  (** bottleneck rate, bytes/s *)
+  buffer : int option;  (** drop-tail capacity, bytes; [None] = unbounded *)
+  rm : float;  (** one-way propagation delay after the bottleneck *)
+  mss : int;
+  jitter_d : float;  (** ACK-path jitter bound D (uniform in [0, D]); 0 = none *)
+  seed : int;
+  key : string;  (** RNG stream namespace — make it unique per cell *)
+  alpha : float;  (** Pareto shape for flow sizes *)
+  xm : float;  (** Pareto scale (bytes) *)
+  size_cap : int;  (** flow sizes are truncated to this many bytes *)
+}
+
+type result = {
+  goodputs : float array;
+      (** per-flow goodput in spawn order: delivered bytes over the
+          flow's own lifetime (to completion, or to the horizon while
+          incomplete).  Length [n]. *)
+  spawned : int;  (** always [n] *)
+  completed : int;
+  peak_active : int;  (** concurrency high-water mark *)
+  peak_pending : int;  (** event-queue high-water mark, sampled at spawns *)
+  slots : int;  (** flow slots ever created — bounded by concurrency *)
+  table_capacity : int;  (** rows in the shared {!Flow.Table} *)
+  fallbacks : int;
+      (** delay-line non-monotone escapes; 0 for every shipped policy *)
+}
+
+val run :
+  cca:(slot:int -> prev:Cca.instance option -> Cca.instance) ->
+  config ->
+  result
+(** [cca ~slot ~prev] supplies the congestion controller for each
+    incarnation of a slot.  [prev] is the slot's previous instance when
+    the slot is being recycled: a columnar factory resets and returns it
+    (allocation-free churn); returning a different instance releases the
+    old one.  Called once per spawned flow. *)

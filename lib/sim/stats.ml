@@ -77,29 +77,57 @@ type ratio_summary = {
   max_ratio : float;
 }
 
-let ratio_summary xs =
+(* {!percentile} over a pre-sorted slice — same interpolation, no copy. *)
+let percentile_sorted xs ~off ~len p =
+  if len = 1 then xs.(off)
+  else begin
+    let rank = p /. 100. *. float_of_int (len - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (len - 1) in
+    let frac = rank -. float_of_int lo in
+    (xs.(off + lo) *. (1. -. frac)) +. (xs.(off + hi) *. frac)
+  end
+
+let ratio_summary_in_place xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.ratio_summary: empty array";
-  Array.iter
-    (fun x ->
-      if not (Float.is_finite x && x >= 0.) then
-        invalid_arg "Stats.ratio_summary: rates must be finite and >= 0")
-    xs;
+  for i = 0 to n - 1 do
+    let x = xs.(i) in
+    if not (Float.is_finite x && x >= 0.) then
+      invalid_arg "Stats.ratio_summary: rates must be finite and >= 0"
+  done;
   let mx = Array.fold_left Float.max 0. xs in
-  let live = Array.of_list (List.filter (fun x -> x > 0.) (Array.to_list xs)) in
-  let starved = n - Array.length live in
-  if Array.length live = 0 then
+  (* Rewrite each live rate to its ratio [mx /. x] (every ratio >= 1) and
+     each starved rate to exactly 0., so one sort of the whole array
+     leaves the zeros as a prefix and the live ratios as a sorted suffix
+     — quantiles without the per-call sorted copy that dominated census
+     merge time at 10^6 flows. *)
+  let starved = ref 0 in
+  for i = 0 to n - 1 do
+    let x = xs.(i) in
+    if x > 0. then xs.(i) <- mx /. x
+    else begin
+      xs.(i) <- 0.;
+      incr starved
+    end
+  done;
+  let starved = !starved in
+  let live = n - starved in
+  if live = 0 then
     (* Everyone starved (or the run never moved a byte): there is no
        finite ratio to report; zeros keep the record serializable. *)
     { total = n; starved; p50 = 0.; p90 = 0.; p99 = 0.; max_ratio = 0. }
   else begin
-    let ratios = Array.map (fun x -> mx /. x) live in
+    Array.sort Float.compare xs;
+    let q p = percentile_sorted xs ~off:starved ~len:live p in
     {
       total = n;
       starved;
-      p50 = percentile ratios 50.;
-      p90 = percentile ratios 90.;
-      p99 = percentile ratios 99.;
-      max_ratio = Array.fold_left Float.max 1. ratios;
+      p50 = q 50.;
+      p90 = q 90.;
+      p99 = q 99.;
+      max_ratio = Float.max 1. xs.(n - 1);
     }
   end
+
+let ratio_summary xs = ratio_summary_in_place (Array.copy xs)

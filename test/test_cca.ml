@@ -912,6 +912,116 @@ let prop_cca_fuzz =
           sane c)
         (all_ccas ()))
 
+(* ------------------------------------------------------------------ *)
+(* Columnar CCA state: arena recycling and trace equivalence            *)
+(* ------------------------------------------------------------------ *)
+
+let test_columns_recycling () =
+  let c = Columns.create ~capacity:2 ~nfields:3 () in
+  let r0 = Columns.alloc c in
+  let _r1 = Columns.alloc c in
+  Alcotest.(check int) "rows" 2 (Columns.rows c);
+  Columns.set c r0 0 5.;
+  Columns.set c r0 2 7.;
+  Columns.free c r0;
+  Alcotest.(check int) "live" 1 (Columns.live c);
+  let r2 = Columns.alloc c in
+  Alcotest.(check int) "freed row is recycled" r0 r2;
+  check_float "recycled row zeroed" 0. (Columns.get c r2 0);
+  check_float "recycled row zeroed (last field)" 0. (Columns.get c r2 2);
+  Alcotest.(check int) "no new rows" 2 (Columns.rows c);
+  (* Churn: with a free row available, repeated alloc/free must neither
+     add rows nor grow the arena. *)
+  Columns.free c r2;
+  let cap = Columns.capacity c in
+  for _ = 1 to 1_000 do
+    Columns.free c (Columns.alloc c)
+  done;
+  Alcotest.(check int) "capacity stable under churn" cap (Columns.capacity c);
+  Alcotest.(check int) "rows stable under churn" 2 (Columns.rows c)
+
+let bits = Int64.bits_of_float
+
+(* Apply one fuzz event to a CCA at time [now]. *)
+let apply_fuzz c ~now ev =
+  match ev with
+  | Fz_ack (rtt, bytes) -> c.Cca.on_ack (ack ~rtt ~bytes now)
+  | Fz_loss timeout ->
+      c.Cca.on_loss
+        (loss
+           ~kind:(if timeout then `Timeout else `Dupack)
+           ~packets:[ (now -. 0.05, 1500) ]
+           now)
+  | Fz_timer -> (
+      match c.Cca.next_timer () with
+      | Some t when t <= now -> c.Cca.on_timer now
+      | Some _ | None -> ())
+
+let drive_one c events =
+  let now = ref 0.1 in
+  List.iter
+    (fun ev ->
+      now := !now +. 0.001;
+      apply_fuzz c ~now:!now ev)
+    events
+
+(* Feed both instances the same stream; cwnd and pacing must stay
+   bit-identical after every event — the contract that makes columnar
+   census cells byte-identical to the boxed baseline. *)
+let drive_pair ~name a b events =
+  let now = ref 0.1 in
+  List.iter
+    (fun ev ->
+      now := !now +. 0.001;
+      apply_fuzz a ~now:!now ev;
+      apply_fuzz b ~now:!now ev;
+      let wa = a.Cca.cwnd () and wb = b.Cca.cwnd () in
+      if bits wa <> bits wb then
+        QCheck.Test.fail_reportf "%s cwnd diverged: %h <> %h" name wa wb;
+      match (a.Cca.pacing_rate (), b.Cca.pacing_rate ()) with
+      | None, None -> ()
+      | Some ra, Some rb when bits ra = bits rb -> ()
+      | _ -> QCheck.Test.fail_reportf "%s pacing rate diverged" name)
+    events;
+  true
+
+let prop_reno_columnar_trace_equiv =
+  QCheck.Test.make ~name:"columnar Reno is trace-equivalent to boxed" ~count:80
+    fuzz_arb
+    (fun events ->
+      let cols = Columns.create ~nfields:Reno.nfields () in
+      drive_pair ~name:"reno" (Reno.make ()) (Reno.make_in cols).Cca.cca events)
+
+let prop_copa_columnar_trace_equiv =
+  QCheck.Test.make ~name:"columnar Copa is trace-equivalent to boxed" ~count:80
+    fuzz_arb
+    (fun events ->
+      let cols = Columns.create ~nfields:Copa.nfields () in
+      drive_pair ~name:"copa" (Copa.make ()) (Copa.make_in cols).Cca.cca events)
+
+(* The churn contract: a reset columnar instance must be indistinguishable
+   from a freshly built one even after an arbitrary first incarnation. *)
+let prop_columnar_reset_equals_fresh =
+  QCheck.Test.make ~name:"reset columnar instance equals a fresh instance"
+    ~count:60
+    QCheck.(pair fuzz_arb fuzz_arb)
+    (fun (warmup, events) ->
+      List.for_all
+        (fun (name, fresh, inst) ->
+          drive_one inst.Cca.cca warmup;
+          (match inst.Cca.reset with
+          | Some r -> r ()
+          | None -> QCheck.Test.fail_reportf "%s: columnar without reset" name);
+          drive_pair ~name inst.Cca.cca (fresh ()) events)
+        [
+          ( "reno",
+            (fun () -> Reno.make ()),
+            Reno.make_in (Columns.create ~nfields:Reno.nfields ()) );
+          ( "copa",
+            (fun () -> Copa.make ()),
+            Copa.make_in (Columns.create ~nfields:Copa.nfields ()) );
+        ])
+
 let () =
   Alcotest.run "cca"
     [
@@ -1025,6 +1135,13 @@ let () =
           Alcotest.test_case "aimd" `Quick test_alg1_aimd;
           Alcotest.test_case "floor" `Quick test_alg1_floor;
           qt prop_alg1_curve_monotone;
+        ] );
+      ( "columnar",
+        [
+          Alcotest.test_case "arena recycling" `Quick test_columns_recycling;
+          qt prop_reno_columnar_trace_equiv;
+          qt prop_copa_columnar_trace_equiv;
+          qt prop_columnar_reset_equals_fresh;
         ] );
       ("fuzz", [ qt prop_cca_fuzz ]);
     ]

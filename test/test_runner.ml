@@ -80,6 +80,68 @@ let test_empty_job_list () =
   Alcotest.(check int) "no jobs" 0 stats.Runner.Pool.jobs
 
 (* ------------------------------------------------------------------ *)
+(* Domain backend                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The domain backend serves silent jobs; payloads must match the fork
+   and serial paths result-for-result, in job order. *)
+let silent_job i =
+  Runner.Job.create ~key:(Printf.sprintf "t/silent/%d" i) (fun () -> i * i + 1)
+
+let silent_jobs n = List.init n silent_job
+
+let test_domain_matches_fork () =
+  let serial, _ = Runner.Pool.run (silent_jobs 20) in
+  let forked, _ = Runner.Pool.run ~workers:4 (silent_jobs 20) in
+  let domains, stats =
+    Runner.Pool.run ~backend:`Domain ~workers:4 (silent_jobs 20)
+  in
+  let vals rs = List.map (fun (_, b) -> (Runner.Job.decode b : int)) rs in
+  Alcotest.(check (list int)) "domain matches serial" (vals serial) (vals domains);
+  Alcotest.(check (list int)) "domain matches fork" (vals forked) (vals domains);
+  Alcotest.(check (list string)) "silent jobs stay silent"
+    (List.map fst serial)
+    (List.map fst domains);
+  Alcotest.(check int) "executed" 20 stats.Runner.Pool.executed;
+  Alcotest.(check int) "no respawns" 0 stats.Runner.Pool.respawns
+
+let test_domain_job_exception () =
+  let bad =
+    Runner.Job.create ~key:"t/domain/bad" (fun () -> failwith "boom")
+  in
+  let results, stats =
+    Runner.Pool.run_results ~backend:`Domain ~workers:2
+      [ silent_job 1; bad; silent_job 2 ]
+  in
+  (match results with
+  | [ (_, Ok a); (_, Error reason); (_, Ok b) ] ->
+      Alcotest.(check int) "first" 2 (Runner.Job.decode a : int);
+      Alcotest.(check int) "third" 5 (Runner.Job.decode b : int);
+      Alcotest.(check bool) "reason mentions boom" true
+        (String.length reason > 0)
+  | _ -> Alcotest.fail "expected Ok/Error/Ok in job order");
+  Alcotest.(check int) "two executed" 2 stats.Runner.Pool.executed
+
+let test_domain_fills_cache () =
+  let dir = fresh_dir "ccstarve_domain_cache" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let cache = Runner.Cache.create ~dir () in
+      let _, s1 =
+        Runner.Pool.run ~backend:`Domain ~workers:4 ~cache (silent_jobs 8)
+      in
+      Alcotest.(check int) "first run executes" 8 s1.Runner.Pool.executed;
+      (* A fork re-run must be served entirely from the domain-filled
+         cache — the two backends share one result representation. *)
+      let results, s2 = Runner.Pool.run ~workers:4 ~cache (silent_jobs 8) in
+      Alcotest.(check int) "rerun all hits" 8 s2.Runner.Pool.cache_hits;
+      Alcotest.(check int) "rerun executes nothing" 0 s2.Runner.Pool.executed;
+      Alcotest.(check (list int)) "payloads intact"
+        (List.map (fun i -> (i * i) + 1) (List.init 8 Fun.id))
+        (List.map (fun (_, b) -> (Runner.Job.decode b : int)) results))
+
+(* ------------------------------------------------------------------ *)
 (* Failure handling                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -594,5 +656,20 @@ let () =
             test_repro_quarantine_exits_nonzero;
           Alcotest.test_case "allow-failures downgrades" `Quick
             test_repro_allow_failures_downgrades;
+        ] );
+      (* Must stay last: on OCaml 5, Unix.fork is disallowed for the
+         rest of the process once any domain has been spawned, so every
+         fork-pool suite has to run before the first Domain.spawn.  The
+         fork runs *inside* these tests are safe because each test
+         forks before it spawns domains (or executes nothing from a
+         warm cache). *)
+      ( "domain",
+        [
+          Alcotest.test_case "matches fork and serial" `Quick
+            test_domain_matches_fork;
+          Alcotest.test_case "job exception isolated to its slot" `Quick
+            test_domain_job_exception;
+          Alcotest.test_case "fills the shared cache" `Quick
+            test_domain_fills_cache;
         ] );
     ]

@@ -2210,6 +2210,218 @@ let test_rng_pareto () =
   Alcotest.(check bool) "bad xm" true
     (raises (fun () -> Sim.Rng.pareto g ~alpha ~xm:(-1.)))
 
+(* ------------------------------------------------------------------ *)
+(* In-place ratio summary                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Independent oracle: the pre-columnar implementation (filtered copy of
+   the live rates, {!Stats.percentile} per quantile).  The in-place path
+   must reproduce it bit for bit. *)
+let ratio_summary_oracle xs =
+  let n = Array.length xs in
+  let mx = Array.fold_left Float.max 0. xs in
+  let live =
+    Array.of_list (List.filter (fun x -> x > 0.) (Array.to_list xs))
+  in
+  let starved = n - Array.length live in
+  if Array.length live = 0 then
+    {
+      Sim.Stats.total = n;
+      starved;
+      p50 = 0.;
+      p90 = 0.;
+      p99 = 0.;
+      max_ratio = 0.;
+    }
+  else begin
+    let ratios = Array.map (fun x -> mx /. x) live in
+    let q p = Sim.Stats.percentile ratios p in
+    {
+      Sim.Stats.total = n;
+      starved;
+      p50 = q 50.;
+      p90 = q 90.;
+      p99 = q 99.;
+      max_ratio =
+        Float.max 1. (Array.fold_left Float.max neg_infinity ratios);
+    }
+  end
+
+let prop_ratio_summary_in_place_matches =
+  QCheck.Test.make
+    ~name:"in-place ratio summary matches the copying oracle bit for bit"
+    ~count:300
+    QCheck.(
+      list_of_size Gen.(1 -- 60)
+        (oneof [ float_range 0. 1e9; always 0. ]))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let got = Sim.Stats.ratio_summary_in_place (Array.copy a) in
+      let via_copy = Sim.Stats.ratio_summary a in
+      let expect = ratio_summary_oracle a in
+      let beq x y = Int64.bits_of_float x = Int64.bits_of_float y in
+      let same s1 s2 =
+        s1.Sim.Stats.total = s2.Sim.Stats.total
+        && s1.Sim.Stats.starved = s2.Sim.Stats.starved
+        && beq s1.Sim.Stats.p50 s2.Sim.Stats.p50
+        && beq s1.Sim.Stats.p90 s2.Sim.Stats.p90
+        && beq s1.Sim.Stats.p99 s2.Sim.Stats.p99
+        && beq s1.Sim.Stats.max_ratio s2.Sim.Stats.max_ratio
+      in
+      same got expect && same via_copy expect)
+
+(* ------------------------------------------------------------------ *)
+(* Timer-wheel lazy allocation                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_eq_wheel_lazy_bypass () =
+  let eq = Sim.Event_queue.create () in
+  let fired = ref 0 in
+  for i = 1 to 200 do
+    Sim.Event_queue.schedule eq
+      ~at:(float_of_int i *. 0.01)
+      (fun () -> incr fired)
+  done;
+  Alcotest.(check bool)
+    "small queue never allocates the wheel" false
+    (Sim.Event_queue.wheel_allocated eq);
+  Alcotest.(check int) "pending counts inserts" 200 (Sim.Event_queue.pending eq);
+  for i = 201 to 300 do
+    Sim.Event_queue.schedule eq
+      ~at:(float_of_int i *. 0.01)
+      (fun () -> incr fired)
+  done;
+  Alcotest.(check bool)
+    "wheel allocates past the threshold" true
+    (Sim.Event_queue.wheel_allocated eq);
+  Alcotest.(check int) "pending after growth" 300 (Sim.Event_queue.pending eq);
+  (* Partial drain: the O(1) counter must track pops and survive the
+     internal wheel-to-heap migrations. *)
+  Sim.Event_queue.run_until eq 1.;
+  Alcotest.(check int) "fired through t=1" 100 !fired;
+  Alcotest.(check int) "pending mid-run" 200 (Sim.Event_queue.pending eq);
+  Sim.Event_queue.run_until eq 10.;
+  Alcotest.(check int) "all fired" 300 !fired;
+  Alcotest.(check int) "drained" 0 (Sim.Event_queue.pending eq)
+
+(* ------------------------------------------------------------------ *)
+(* Population engine                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Scaled-down census cell: same shape as E19 (Poisson arrivals over the
+   front of the run, Pareto sizes, one bottleneck) but small enough for
+   the test suite. *)
+let population_cfg ?(n = 1500) ?(seed = 11) ?(key = "test/pop")
+    ?(jitter_d = 0.) () =
+  let mss = 1500 in
+  let rate = 7.5e6 (* 60 Mbit/s *) in
+  let load = 0.7 and arrival_frac = 0.6 in
+  let xm = float_of_int (10 * mss) in
+  let mean_size = 3. *. xm in
+  let duration =
+    float_of_int n *. mean_size /. (load *. rate *. arrival_frac)
+  in
+  {
+    Sim.Population.n;
+    duration;
+    arrival_frac;
+    rate;
+    buffer = Some 262_144;
+    rm = 0.02;
+    mss;
+    jitter_d;
+    seed;
+    key;
+    alpha = 1.5;
+    xm;
+    size_cap = 1_000_000;
+  }
+
+let boxed_reno ~slot:_ ~prev:_ = Cca.instance_of (Reno.make ())
+
+let goodputs_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+       a b
+
+let test_population_recycles_slots () =
+  let cfg = population_cfg () in
+  let r = Sim.Population.run ~cca:boxed_reno cfg in
+  Alcotest.(check int) "spawned = n" cfg.Sim.Population.n r.Sim.Population.spawned;
+  Alcotest.(check bool)
+    "most flows complete" true
+    (r.Sim.Population.completed > cfg.Sim.Population.n / 2);
+  (* The point of the engine: resources scale with peak concurrency. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "slots (%d) well below n" r.Sim.Population.slots)
+    true
+    (r.Sim.Population.slots < cfg.Sim.Population.n / 4);
+  Alcotest.(check bool)
+    "slots cover peak concurrency" true
+    (r.Sim.Population.slots >= r.Sim.Population.peak_active);
+  Alcotest.(check bool)
+    (Printf.sprintf "table capacity (%d) bounded by concurrency, not n"
+       r.Sim.Population.table_capacity)
+    true
+    (r.Sim.Population.table_capacity < cfg.Sim.Population.n);
+  Alcotest.(check bool)
+    "event queue bounded by concurrency" true
+    (r.Sim.Population.peak_pending < 4096);
+  Alcotest.(check int) "no delay-line fallbacks" 0 r.Sim.Population.fallbacks;
+  Alcotest.(check bool)
+    "goodputs finite and non-negative" true
+    (Array.for_all
+       (fun g -> Float.is_finite g && g >= 0.)
+       r.Sim.Population.goodputs);
+  Alcotest.(check bool)
+    "someone made progress" true
+    (Array.exists (fun g -> g > 0.) r.Sim.Population.goodputs)
+
+let test_population_deterministic () =
+  let cfg = population_cfg ~n:800 ~jitter_d:0.02 () in
+  let r1 = Sim.Population.run ~cca:boxed_reno cfg in
+  let r2 = Sim.Population.run ~cca:boxed_reno cfg in
+  Alcotest.(check bool)
+    "goodputs bit-identical across runs" true
+    (goodputs_equal r1.Sim.Population.goodputs r2.Sim.Population.goodputs);
+  Alcotest.(check int)
+    "completed equal" r1.Sim.Population.completed r2.Sim.Population.completed
+
+(* System-level trace equivalence: a whole census population driven by
+   columnar recycled CCA instances produces bit-identical goodputs to one
+   driven by fresh boxed instances — per slot, alternating CCA kinds to
+   exercise the mixed-cell matrix. *)
+let test_population_columnar_equivalence () =
+  let cfg = population_cfg ~n:800 ~key:"test/pop-col" ~jitter_d:0.02 () in
+  let boxed ~slot ~prev:_ =
+    Cca.instance_of (if slot mod 2 = 0 then Reno.make () else Copa.make ())
+  in
+  let reno_cols = Columns.create ~nfields:Reno.nfields () in
+  let copa_cols = Columns.create ~nfields:Copa.nfields () in
+  let columnar ~slot ~prev =
+    match prev with
+    | Some i ->
+        (match i.Cca.reset with
+        | Some r -> r ()
+        | None -> Alcotest.fail "columnar instance lost its reset");
+        i
+    | None ->
+        if slot mod 2 = 0 then Reno.make_in reno_cols
+        else Copa.make_in copa_cols
+  in
+  let rb = Sim.Population.run ~cca:boxed cfg in
+  let rc = Sim.Population.run ~cca:columnar cfg in
+  Alcotest.(check bool)
+    "columnar goodputs bit-identical to boxed" true
+    (goodputs_equal rb.Sim.Population.goodputs rc.Sim.Population.goodputs);
+  Alcotest.(check int)
+    "completed equal" rb.Sim.Population.completed rc.Sim.Population.completed;
+  Alcotest.(check bool)
+    "arena rows bounded by slots" true
+    (Columns.rows reno_cols + Columns.rows copa_cols
+    <= rb.Sim.Population.slots)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "sim"
@@ -2241,6 +2453,7 @@ let () =
           Alcotest.test_case "handle fifo ties" `Quick test_eq_handle_fifo_ties;
           Alcotest.test_case "step hook" `Quick
             test_eq_step_hook_observes_every_step;
+          Alcotest.test_case "wheel lazy bypass" `Quick test_eq_wheel_lazy_bypass;
           qt prop_eq_stable_order;
           qt prop_eq_backend_equivalence;
           Alcotest.test_case "peak at 100k flows" `Slow test_eq_peak_100k_flows;
@@ -2287,6 +2500,7 @@ let () =
           qt prop_jain_bounds;
           qt prop_online_matches_batch_mean;
           qt prop_ratio_summary_finite;
+          qt prop_ratio_summary_in_place_matches;
         ] );
       ( "series",
         [
@@ -2416,5 +2630,13 @@ let () =
           Alcotest.test_case "minor-words budget" `Quick
             test_network_minor_words_budget;
           qt prop_network_physical_invariants;
+        ] );
+      ( "population",
+        [
+          Alcotest.test_case "recycles slots" `Quick
+            test_population_recycles_slots;
+          Alcotest.test_case "deterministic" `Quick test_population_deterministic;
+          Alcotest.test_case "columnar equivalence" `Quick
+            test_population_columnar_equivalence;
         ] );
     ]
