@@ -675,6 +675,49 @@ let census_bench () =
   (n, wall, flows_per_sec, bytes_per_flow, live_delta, r.Sim.Population.completed,
    summary.Sim.Stats.starved, r.Sim.Population.slots)
 
+(* Fluid backend speedup: the E14 threshold sweep (quick shape: 4 jitter
+   multipliers x 20 simulated seconds of two Copa flows) on the packet
+   simulator vs the discretised fluid backend.  Interleaved best-of
+   timing, same rationale as [snapshot_overhead]; the fluid sweep is
+   sub-millisecond, far below timer resolution, so each fluid sample
+   times a batch of sweeps and divides.  The acceptance gate holds the
+   ratio at >= 10x — the whole point of the fluid backend is that sweeps
+   and censuses stop being the expensive part of an experiment run. *)
+let fluid_sweep_sim_seconds = 4. *. 20.
+
+let fluid_speedup_bench () =
+  let sweep backend () =
+    ignore (Experiments.Exp_threshold.sweep ~quick:true ~backend ())
+  in
+  sweep Fluid.Backend.Packet ();
+  sweep Fluid.Backend.Fluid ();
+  let fluid_reps = 50 in
+  let t_packet = ref infinity and t_fluid = ref infinity in
+  for _ = 1 to 3 do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    sweep Fluid.Backend.Packet ();
+    t_packet := Float.min !t_packet (Unix.gettimeofday () -. t0);
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to fluid_reps do
+      sweep Fluid.Backend.Fluid ()
+    done;
+    t_fluid :=
+      Float.min !t_fluid
+        ((Unix.gettimeofday () -. t0) /. float_of_int fluid_reps)
+  done;
+  let speedup = !t_packet /. !t_fluid in
+  let sim_per_sec = fluid_sweep_sim_seconds /. !t_fluid in
+  Printf.printf "\n== Fluid backend speedup (E14 quick sweep) ==\n";
+  Printf.printf "%-34s %12.4f s\n" "packet sweep (best of 3)" !t_packet;
+  Printf.printf "%-34s %12.6f s\n"
+    (Printf.sprintf "fluid sweep (best of 3 x %d)" fluid_reps)
+    !t_fluid;
+  Printf.printf "%-34s %11.1fx\n" "speedup" speedup;
+  Printf.printf "%-34s %12.0f\n" "fluid simulated seconds/sec" sim_per_sec;
+  (!t_packet, !t_fluid, speedup, sim_per_sec)
+
 let macro_bench () =
   let cfg = macro_config () in
   (* Warm up: code paths, minor heap sizing, series growth. *)
@@ -731,6 +774,9 @@ let macro_bench () =
         census_live_words, census_completed, census_starved, census_slots ) =
     census_bench ()
   in
+  let t_sweep_packet, t_sweep_fluid, fluid_speedup, fluid_sim_per_sec =
+    fluid_speedup_bench ()
+  in
   let json = "BENCH_simulator.json" in
   write_bench_json json
     [
@@ -782,6 +828,11 @@ let macro_bench () =
       ("census_slots", string_of_int census_slots);
       ("census_live_words", string_of_int census_live_words);
       ("census_bytes_per_flow", Printf.sprintf "%.1f" census_bytes_per_flow);
+      ("fluid_sweep_sim_seconds", Printf.sprintf "%g" fluid_sweep_sim_seconds);
+      ("fluid_sweep_seconds_packet", Printf.sprintf "%.4f" t_sweep_packet);
+      ("fluid_sweep_seconds_fluid", Printf.sprintf "%.6f" t_sweep_fluid);
+      ("fluid_speedup_threshold", Printf.sprintf "%.1f" fluid_speedup);
+      ("fluid_sim_seconds_per_sec", Printf.sprintf "%.1f" fluid_sim_per_sec);
     ];
   Printf.printf "wrote %s\n" json
 

@@ -19,7 +19,8 @@ open Cmdliner
 
 let keys_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
-         ~doc:"Experiment keys to run (see $(b,starvation_lab list)).")
+         ~doc:"Experiment keys to run, or the single word $(b,list) to \
+               print every available key and exit.")
 
 let all_arg =
   Arg.(value & flag & info [ "all" ] ~doc:"Run every experiment.")
@@ -42,6 +43,24 @@ let pool_arg =
                  capture) or $(b,domain) (shared-memory domains in one \
                  process; unsupervised, for silent census-style jobs — \
                  output stays byte-identical to -j 1).")
+
+let backend_arg =
+  let backend_conv =
+    Arg.conv
+      ( (fun s ->
+          Result.map_error (fun m -> `Msg m) (Fluid.Backend.of_string s)),
+        fun ppf b -> Format.pp_print_string ppf (Fluid.Backend.to_string b) )
+  in
+  Arg.(value & opt backend_conv Fluid.Backend.Packet
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Simulation substrate for backend-aware experiments \
+                 (threshold, census, validate): $(b,packet) (the \
+                 event-driven simulator), $(b,fluid) (fixed-step \
+                 discretised fluid model; orders of magnitude faster), or \
+                 $(b,hybrid) (fluid far from discontinuities, packet-level \
+                 windows around them).  Cache keys incorporate the \
+                 backend, so results never cross substrates.  Packet-only \
+                 experiments ignore this flag.")
 
 let no_cache_arg =
   Arg.(value & flag & info [ "no-cache" ]
@@ -115,14 +134,13 @@ let fuzz_seed_arg =
                reproduces anywhere.")
 
 let select keys all =
-  if all || keys = [] then Ok Experiments.Registry.all
-  else
-    let missing =
-      List.filter (fun k -> Experiments.Registry.find k = None) keys
-    in
-    if missing <> [] then
-      Error (Printf.sprintf "unknown experiment(s): %s" (String.concat ", " missing))
-    else Ok (List.filter_map Experiments.Registry.find keys)
+  Experiments.Registry.select (if all then [] else keys)
+
+(* `repro list`: the machine-checked inventory.  One key per line so the
+   smoke test (and shell completion) can round-trip every key through
+   `plan` without parsing a table. *)
+let list_keys () =
+  List.iter print_endline (Experiments.Registry.keys ())
 
 (* --------------------------------------------------------------------- *)
 (* Shrinker self-test and replay                                          *)
@@ -262,13 +280,14 @@ let fuzz ~seed ~n ~cache_dir =
 (* Main driver                                                            *)
 (* --------------------------------------------------------------------- *)
 
-let main keys all quick jobs pool no_cache cache_dir check resume split_run
-    deadline max_attempts selftest replay_file allow_failures fuzz_n
+let main keys all quick jobs pool sim_backend no_cache cache_dir check resume
+    split_run deadline max_attempts selftest replay_file allow_failures fuzz_n
     fuzz_seed =
   match (selftest, replay_file, fuzz_n) with
   | Some dir, _, _ -> selftest_shrink dir
   | None, Some file, _ -> replay file
   | None, None, Some n -> fuzz ~seed:fuzz_seed ~n ~cache_dir
+  | None, None, None when keys = [ "list" ] && not all -> list_keys ()
   | None, None, None -> (
       match select keys all with
       | Error msg ->
@@ -305,7 +324,8 @@ let main keys all quick jobs pool no_cache cache_dir check resume split_run
           let rows, stats =
             try
               Experiments.Registry.run_selection ~quick ~backend:pool
-                ~workers ?cache ~policy ?journal ~allow_failures experiments
+                ~sim_backend ~workers ?cache ~policy ?journal ~allow_failures
+                experiments
             with Runner.Pool.Job_failed { key; reason } ->
               (* Quarantine / exhausted retries: a distinct exit code so
                  CI can tell "simulator results drifted" (2) from "a job
@@ -336,7 +356,7 @@ let cmd =
     (Cmd.info "repro" ~doc)
     Term.(
       const main $ keys_arg $ all_arg $ quick_arg $ jobs_arg $ pool_arg
-      $ no_cache_arg
+      $ backend_arg $ no_cache_arg
       $ cache_dir_arg $ check_arg $ resume_arg $ split_run_arg $ deadline_arg
       $ max_attempts_arg $ selftest_shrink_arg $ replay_arg
       $ allow_failures_arg $ fuzz_arg $ fuzz_seed_arg)

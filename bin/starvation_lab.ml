@@ -32,14 +32,18 @@ let run_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
   in
   let run key quick =
-    match Experiments.Registry.find key with
-    | None ->
-        Printf.eprintf "unknown experiment %S; try `starvation_lab list`\n" key;
+    match Experiments.Registry.select [ key ] with
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
         exit 1
-    | Some e ->
-        let rows = e.Experiments.Registry.run ~quick in
-        Experiments.Report.print_rows ~title:e.Experiments.Registry.title rows;
-        if not (Experiments.Report.all_ok rows) then exit 2
+    | Ok es ->
+        List.iter
+          (fun e ->
+            let rows = e.Experiments.Registry.run ~quick in
+            Experiments.Report.print_rows ~title:e.Experiments.Registry.title
+              rows;
+            if not (Experiments.Report.all_ok rows) then exit 2)
+          es
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment")
     Term.(const run $ key $ quick_arg)

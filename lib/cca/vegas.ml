@@ -40,6 +40,102 @@ let per_rtt_update s =
   end;
   s.cwnd <- Float.max s.cwnd (2. *. mss)
 
+(* --- Columnar variant ---------------------------------------------------- *)
+
+(* Same algorithm as [make], with the mutable record replaced by one row
+   of a shared {!Columns} arena.  Kept textually parallel to the boxed
+   path on purpose — a qcheck property asserts bitwise trace
+   equivalence, so the boxed implementation stays the readable
+   reference.  Booleans live in float cells (0. / 1.); [base_rtt]'s
+   initial [infinity] round-trips through the column unchanged. *)
+
+let nfields = 6
+let f_cwnd = 0
+let f_base_rtt = 1
+let f_last_rtt = 2
+let f_epoch_start = 3
+let f_slow_start = 4
+let f_ss_parity = 5
+
+let make_in ?(params = default_params) cols =
+  if Columns.nfields cols <> nfields then
+    invalid_arg "Vegas.make_in: arena has the wrong number of fields";
+  let mss = float_of_int params.mss in
+  let r = Columns.alloc cols in
+  let reset () =
+    Columns.set cols r f_cwnd (params.init_cwnd_packets *. mss);
+    Columns.set cols r f_base_rtt infinity;
+    Columns.set cols r f_last_rtt 0.;
+    Columns.set cols r f_epoch_start 0.;
+    Columns.set cols r f_slow_start 1.;
+    Columns.set cols r f_ss_parity 0.
+  in
+  reset ();
+  let queued_packets () =
+    let last_rtt = Columns.get cols r f_last_rtt in
+    if last_rtt <= 0. || Columns.get cols r f_base_rtt = infinity then 0.
+    else
+      Columns.get cols r f_cwnd /. mss
+      *. ((last_rtt -. Columns.get cols r f_base_rtt) /. last_rtt)
+  in
+  let per_rtt_update () =
+    let diff = queued_packets () in
+    if Columns.get cols r f_slow_start = 1. then begin
+      if diff > params.gamma then Columns.set cols r f_slow_start 0.
+      else begin
+        Columns.set cols r f_ss_parity
+          (1. -. Columns.get cols r f_ss_parity);
+        if Columns.get cols r f_ss_parity = 1. then
+          Columns.set cols r f_cwnd (Columns.get cols r f_cwnd *. 2.)
+      end
+    end;
+    if Columns.get cols r f_slow_start <> 1. then begin
+      if diff < params.alpha then
+        Columns.set cols r f_cwnd (Columns.get cols r f_cwnd +. mss)
+      else if diff > params.beta then
+        Columns.set cols r f_cwnd (Columns.get cols r f_cwnd -. mss)
+    end;
+    Columns.set cols r f_cwnd
+      (Float.max (Columns.get cols r f_cwnd) (2. *. mss))
+  in
+  let on_ack (a : Cca.ack_info) =
+    if a.rtt < Columns.get cols r f_base_rtt then
+      Columns.set cols r f_base_rtt a.rtt;
+    Columns.set cols r f_last_rtt a.rtt;
+    if a.now -. Columns.get cols r f_epoch_start >= a.rtt then begin
+      Columns.set cols r f_epoch_start a.now;
+      per_rtt_update ()
+    end
+  in
+  let on_loss (l : Cca.loss_info) =
+    match l.kind with
+    | `Timeout -> Columns.set cols r f_cwnd (2. *. mss)
+    | `Dupack ->
+        Columns.set cols r f_cwnd
+          (Float.max (Columns.get cols r f_cwnd /. 2.) (2. *. mss))
+  in
+  let cca =
+    {
+      Cca.name = "vegas";
+      on_ack;
+      on_loss;
+      on_send = (fun _ -> ());
+      on_timer = (fun _ -> ());
+      next_timer = (fun () -> None);
+      cwnd = (fun () -> Columns.get cols r f_cwnd);
+      pacing_rate = (fun () -> None);
+      inspect =
+        (fun () ->
+          [
+            ("cwnd", Columns.get cols r f_cwnd);
+            ("base_rtt", Columns.get cols r f_base_rtt);
+            ("queued_packets", queued_packets ());
+            ("slow_start", Columns.get cols r f_slow_start);
+          ]);
+    }
+  in
+  { Cca.cca; reset = Some reset; release = (fun () -> Columns.free cols r) }
+
 let make ?(params = default_params) () =
   let s =
     {

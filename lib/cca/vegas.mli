@@ -22,6 +22,16 @@ val default_params : params
 
 val make : ?params:params -> unit -> Cca.t
 
+val nfields : int
+(** Float cells per instance in the columnar layout. *)
+
+val make_in : ?params:params -> Columns.t -> Cca.instance
+(** Columnar constructor: identical algorithm to {!make} with all the
+    float state (booleans as 0./1. cells, [base_rtt] starting at
+    [infinity]) in one arena row of {!nfields} fields.  Bitwise
+    trace-equivalent to {!make} — asserted by a qcheck property — so
+    Vegas can join the million-flow census cells. *)
+
 val equilibrium_rtt : params -> rate:float -> rm:float -> float
 (** Analytic equilibrium RTT on an ideal path of the given rate: the §4.1
     formula [Rm + alpha_pkts * mss / C] (using the alpha/beta midpoint). *)

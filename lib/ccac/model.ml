@@ -34,6 +34,129 @@ let aimd_model ~rm ~mss =
     rate = (fun cwnd -> cwnd /. rm);
   }
 
+(* ------------------------------------------------------------------ *)
+(* Fluid per-RTT update laws.  These drive the discretised fluid
+   backend in [lib/fluid]: the engine calls [f_update] once per
+   observed RTT with the epoch's feedback, and derives the sending
+   rate as cwnd / delay (self-clocking).  Unlike [vegas_model] above,
+   the perceived base RTT here is the running minimum of observed
+   delays, so jitter can poison it — which is the starvation
+   mechanism the threshold sweep measures. *)
+
+type fluid = {
+  f_name : string;
+  f_nstate : int;  (* length of the state vector *)
+  f_init : mss:float -> float array;
+  f_update :
+    float array ->
+    mss:float ->
+    delay:float ->
+    min_delay:float ->
+    acked:float ->
+    lost:bool ->
+    unit;
+  f_cwnd : float array -> float;
+  f_warm : float array -> cwnd:float -> unit;
+}
+
+let clamp_floor ~mss cwnd = Float.max cwnd (2. *. mss)
+
+(* All three laws keep cwnd in slot 0 and a slow-start flag in slot 1;
+   warming from an externally observed window exits slow start. *)
+let warm_cwnd s ~cwnd =
+  s.(0) <- cwnd;
+  s.(1) <- 0.
+
+(* Reno: +1 mss per RTT in congestion avoidance, double in slow start
+   until the first loss, halve on a lossy epoch.  Delay-blind. *)
+let reno_fluid =
+  {
+    f_name = "reno";
+    f_nstate = 2;
+    f_init = (fun ~mss -> [| 4. *. mss; 1. |]);
+    f_update =
+      (fun s ~mss ~delay:_ ~min_delay:_ ~acked:_ ~lost ->
+        if lost then begin
+          s.(1) <- 0.;
+          s.(0) <- clamp_floor ~mss (s.(0) /. 2.)
+        end
+        else if s.(1) > 0.5 then s.(0) <- s.(0) *. 2.
+        else s.(0) <- s.(0) +. mss);
+    f_cwnd = (fun s -> s.(0));
+    f_warm = warm_cwnd;
+  }
+
+(* Vegas: slow-start doubling until the perceived queue exceeds
+   [gamma] packets, then AIAD toward the [alpha]..[beta] corridor of
+   queued packets, estimated as cwnd/mss * (delay - min_delay)/delay. *)
+let vegas_fluid ?(alpha = 2.) ?(beta = 4.) ?(gamma = 1.) () =
+  {
+    f_name = "vegas";
+    f_nstate = 2;
+    f_init = (fun ~mss -> [| 4. *. mss; 1. |]);
+    f_update =
+      (fun s ~mss ~delay ~min_delay ~acked:_ ~lost ->
+        if lost then begin
+          s.(1) <- 0.;
+          s.(0) <- clamp_floor ~mss (s.(0) /. 2.)
+        end
+        else begin
+          let queued =
+            s.(0) /. mss *. (Float.max 0. (delay -. min_delay) /. delay)
+          in
+          if s.(1) > 0.5 then
+            if queued > gamma then s.(1) <- 0. else s.(0) <- s.(0) *. 2.;
+          if s.(1) < 0.5 then begin
+            if queued < alpha then s.(0) <- s.(0) +. mss
+            else if queued > beta then s.(0) <- s.(0) -. mss;
+            s.(0) <- clamp_floor ~mss s.(0)
+          end
+        end);
+    f_cwnd = (fun s -> s.(0));
+    f_warm = warm_cwnd;
+  }
+
+(* Copa: target rate 1/(delta * dq) packets/s where dq is the
+   perceived queueing delay; cwnd moves by mss/delta per RTT toward
+   the target (velocity 1), doubling while below target in slow
+   start.  With one flow on a link of rate C this settles at
+   dq = mss / (delta * C) — the same equilibrium the packet-level
+   [Copa.equilibrium_queue_delay] predicts. *)
+let copa_fluid ?(delta = 0.5) () =
+  {
+    f_name = "copa";
+    f_nstate = 2;
+    f_init = (fun ~mss -> [| 4. *. mss; 1. |]);
+    f_update =
+      (fun s ~mss ~delay ~min_delay ~acked:_ ~lost ->
+        if lost then begin
+          s.(1) <- 0.;
+          s.(0) <- clamp_floor ~mss (s.(0) /. 2.)
+        end
+        else begin
+          let dq = Float.max 0. (delay -. min_delay) in
+          let target_pps = if dq <= 0. then infinity else 1. /. (delta *. dq) in
+          let current_pps = s.(0) /. mss /. delay in
+          if s.(1) > 0.5 then
+            if current_pps < target_pps then s.(0) <- s.(0) *. 2.
+            else s.(1) <- 0.;
+          if s.(1) < 0.5 then begin
+            if current_pps <= target_pps then s.(0) <- s.(0) +. (mss /. delta)
+            else s.(0) <- s.(0) -. (mss /. delta);
+            s.(0) <- clamp_floor ~mss s.(0)
+          end
+        end);
+    f_cwnd = (fun s -> s.(0));
+    f_warm = warm_cwnd;
+  }
+
+let fluid_of_name name =
+  match String.lowercase_ascii name with
+  | "reno" -> reno_fluid
+  | "vegas" -> vegas_fluid ()
+  | "copa" -> copa_fluid ()
+  | other -> invalid_arg (Printf.sprintf "Model.fluid_of_name: %s" other)
+
 type choice = {
   waste : bool;
   split_bias : [ `Fifo | `Favor_1 | `Favor_2 ];

@@ -39,6 +39,58 @@ val aimd_model : rm:float -> mss:float -> float cca
 (** +1 packet per Rm, halve on physical loss.  State = cwnd bytes.
     Delay-blind, so the jitter adversary cannot touch it directly. *)
 
+(** {1 Fluid per-RTT update laws}
+
+    These seed the discretised fluid backend in [lib/fluid].  The
+    engine owns the clock: it tracks each flow's observed delay
+    (propagation + queueing + jitter) and running minimum, groups
+    feedback into one-RTT epochs, and calls [f_update] once per epoch.
+    State is a plain float array so the engine can keep millions of
+    flows in flat storage.  Unlike [vegas_model] above, the base-RTT
+    estimate is the running min of observed delays — jitter can poison
+    it, which is what the starvation threshold measures. *)
+
+type fluid = {
+  f_name : string;
+  f_nstate : int;  (** length of the per-flow state vector *)
+  f_init : mss:float -> float array;  (** fresh state for one flow *)
+  f_update :
+    float array ->
+    mss:float ->
+    delay:float ->
+    min_delay:float ->
+    acked:float ->
+    lost:bool ->
+    unit;
+      (** advance one RTT epoch in place: [delay] is the epoch's
+          observed RTT, [min_delay] the running minimum, [acked] the
+          bytes delivered during the epoch, [lost] whether the flow
+          saw drops this epoch. *)
+  f_cwnd : float array -> float;  (** current window, bytes *)
+  f_warm : float array -> cwnd:float -> unit;
+      (** seed the state from an externally observed window (bytes) —
+          the hybrid backend's packet->fluid translation.  Exits slow
+          start. *)
+}
+
+val reno_fluid : fluid
+(** Slow-start doubling until first loss, then +1 mss per RTT; halve
+    on a lossy epoch.  Delay-blind. *)
+
+val vegas_fluid : ?alpha:float -> ?beta:float -> ?gamma:float -> unit -> fluid
+(** Slow-start until perceived queue > [gamma] packets, then AIAD
+    toward the [alpha]..[beta] corridor (defaults 2..4, matching the
+    packet-level [Cca.Vegas] defaults). *)
+
+val copa_fluid : ?delta:float -> unit -> fluid
+(** Velocity-1 Copa: move cwnd by mss/delta per RTT toward the target
+    rate 1/(delta * dq) packets/s.  Single-flow equilibrium queueing
+    delay is mss/(delta*C), matching [Cca.Copa.equilibrium_queue_delay]. *)
+
+val fluid_of_name : string -> fluid
+(** "reno" | "vegas" | "copa" (case-insensitive) with default
+    parameters; raises [Invalid_argument] otherwise. *)
+
 (** Adversary move for one step. *)
 type choice = {
   waste : bool;  (** waste spare capacity this step (queue must be empty) *)

@@ -16,6 +16,7 @@
 type cell = {
   variant : string; (* "std" | "heavy" *)
   cca_name : string;
+  backend : string; (* "packet" | "fluid" | "hybrid" *)
   jitter_ms : float;
   flows : int;
   completed : int;
@@ -77,14 +78,25 @@ let columnar_factory cca_name =
       let cols = Columns.create ~nfields:Reno.nfields () in
       fun ~slot:_ ~prev ->
         (match prev with Some i -> recycle i | None -> Reno.make_in cols)
+  | "vegas" ->
+      let cols = Columns.create ~nfields:Vegas.nfields () in
+      fun ~slot:_ ~prev ->
+        (match prev with Some i -> recycle i | None -> Vegas.make_in cols)
   | name -> invalid_arg ("census: no columnar factory for " ^ name)
 
-let cell_key ~variant ~cca_name ~jitter_d ~n =
-  Printf.sprintf "census/%s/%s/jit=%gms/n=%d" variant.v_name cca_name
-    (jitter_d *. 1e3) n
+let fluid_law = function
+  | "copa" -> Ccac.Model.copa_fluid ()
+  | "reno" -> Ccac.Model.reno_fluid
+  | "vegas" -> Ccac.Model.vegas_fluid ()
+  | name -> invalid_arg ("census: no fluid law for " ^ name)
 
-let run_cell ~variant ~cca_name ~jitter_d ~n ~seed =
-  let key = cell_key ~variant ~cca_name ~jitter_d ~n in
+let cell_key ~variant ~cca_name ~backend ~jitter_d ~n =
+  Printf.sprintf "census/%s/%s/jit=%gms/n=%d/backend=%s" variant.v_name
+    cca_name (jitter_d *. 1e3) n
+    (Fluid.Backend.to_string backend)
+
+let run_cell_packet ~variant ~cca_name ~backend ~jitter_d ~n ~seed =
+  let key = cell_key ~variant ~cca_name ~backend ~jitter_d ~n in
   let cfg =
     {
       Sim.Population.n;
@@ -109,6 +121,7 @@ let run_cell ~variant ~cca_name ~jitter_d ~n ~seed =
   {
     variant = variant.v_name;
     cca_name;
+    backend = Fluid.Backend.to_string backend;
     jitter_ms = jitter_d *. 1e3;
     flows = n;
     completed = r.Sim.Population.completed;
@@ -120,12 +133,63 @@ let run_cell ~variant ~cca_name ~jitter_d ~n ~seed =
     fallbacks = r.Sim.Population.fallbacks;
   }
 
+(* The fluid census: same population law (identical labeled Rng streams
+   would be ideal, but the fluid census draws its own streams under the
+   cell key, so the workload is statistically — not sample-for-sample —
+   the same).  Per-flow law state is admitted/released with the flow, so
+   peak concurrent state rows play the role the slot pool plays on the
+   packet side; the event-queue and flow-table columns have no fluid
+   analogue and report as zero. *)
+let run_cell_fluid ~variant ~cca_name ~backend ~jitter_d ~n ~seed =
+  let key = cell_key ~variant ~cca_name ~backend ~jitter_d ~n in
+  let r =
+    Fluid.Census.run
+      (Fluid.Census.config ~key ~seed ~n
+         ~duration:(duration_for ~load:variant.v_load n)
+         ~arrival_frac ~rate
+         ?buffer:(Option.map float_of_int variant.v_buffer)
+         ~rm ~mss:(float_of_int mss) ~jitter_d ~alpha ~xm
+         ~size_cap:(float_of_int size_cap) (fluid_law cca_name))
+  in
+  if r.Fluid.Census.conservation_error > 1. +. (1e-6 *. r.Fluid.Census.offered_bytes)
+  then
+    failwith
+      (Printf.sprintf "census %s: fluid conservation error %.1f B" key
+         r.Fluid.Census.conservation_error);
+  let summary = Sim.Stats.ratio_summary_in_place r.Fluid.Census.goodputs in
+  {
+    variant = variant.v_name;
+    cca_name;
+    backend = Fluid.Backend.to_string backend;
+    jitter_ms = jitter_d *. 1e3;
+    flows = n;
+    completed = r.Fluid.Census.completed;
+    summary;
+    peak_pending = 0;
+    peak_active = r.Fluid.Census.peak_active;
+    slots = r.Fluid.Census.peak_active;
+    table_capacity = 0;
+    fallbacks = 0;
+  }
+
+let run_cell ~variant ~cca_name ~backend ~jitter_d ~n ~seed =
+  match backend with
+  | Fluid.Backend.Packet ->
+      run_cell_packet ~variant ~cca_name ~backend ~jitter_d ~n ~seed
+  | Fluid.Backend.Fluid | Fluid.Backend.Hybrid ->
+      (* The census has no discontinuity schedule to hand a hybrid
+         switcher, so both non-packet backends run the pure fluid
+         census. *)
+      run_cell_fluid ~variant ~cca_name ~backend ~jitter_d ~n ~seed
+
 let cells =
   [
     (std, "copa", 0.);
     (std, "copa", jitter_d);
     (std, "reno", 0.);
     (std, "reno", jitter_d);
+    (std, "vegas", 0.);
+    (std, "vegas", jitter_d);
     (heavy, "copa", 0.);
     (heavy, "reno", 0.);
   ]
@@ -135,10 +199,11 @@ let cells =
    not the job, so cells can run on the domain pool. *)
 let print_cell c =
   Printf.printf
-    "census {\"variant\":\"%s\",\"cca\":\"%s\",\"jitter_ms\":%g,\"flows\":%d,\
+    "census {\"variant\":\"%s\",\"cca\":\"%s\",\"backend\":\"%s\",\
+     \"jitter_ms\":%g,\"flows\":%d,\
      \"completed\":%d,\"starved\":%d,\"ratio_p50\":%.6g,\"ratio_p90\":%.6g,\
      \"ratio_p99\":%.6g,\"ratio_max\":%.6g,\"slots\":%d,\"peak_active\":%d}\n"
-    c.variant c.cca_name c.jitter_ms c.flows c.completed
+    c.variant c.cca_name c.backend c.jitter_ms c.flows c.completed
     c.summary.Sim.Stats.starved c.summary.Sim.Stats.p50 c.summary.Sim.Stats.p90
     c.summary.Sim.Stats.p99 c.summary.Sim.Stats.max_ratio c.slots c.peak_active
 
@@ -150,8 +215,9 @@ let rows_of_cells cs =
       let heavy = c.variant = "heavy" in
       Report.row ~id:"E19"
         ~label:
-          (Printf.sprintf "census[%s] %s jitter=%gms (%d flows)" c.variant
-             c.cca_name c.jitter_ms c.flows)
+          (Printf.sprintf "census[%s] %s jitter=%gms (%d flows%s)" c.variant
+             c.cca_name c.jitter_ms c.flows
+             (if c.backend = "packet" then "" else ", " ^ c.backend))
         ~paper:
           (if heavy then
              "sec. 3.2: under overload with shallow buffers, starvation is \
@@ -177,23 +243,23 @@ let rows_of_cells cs =
           && (heavy || c.completed > c.flows / 2)))
     cs
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(backend = Fluid.Backend.Packet) () =
   rows_of_cells
     (List.map
        (fun (variant, cca_name, jitter_d) ->
-         run_cell ~variant ~cca_name ~jitter_d
+         run_cell ~variant ~cca_name ~backend ~jitter_d
            ~n:(population variant ~quick)
            ~seed:42)
        cells)
 
-let plan ~quick =
+let plan ~quick ~backend =
   let jobs =
     List.map
       (fun (variant, cca_name, jitter_d) ->
         let n = population variant ~quick in
-        let key = cell_key ~variant ~cca_name ~jitter_d ~n in
+        let key = cell_key ~variant ~cca_name ~backend ~jitter_d ~n in
         Runner.Job.create ~key (fun () ->
-            run_cell ~variant ~cca_name ~jitter_d ~n ~seed:42))
+            run_cell ~variant ~cca_name ~backend ~jitter_d ~n ~seed:42))
       cells
   in
   let merge payloads =

@@ -19,13 +19,22 @@ type point = {
   ratio : float;  (** measured throughput ratio *)
 }
 
-val sweep : ?quick:bool -> unit -> point list
-(** The phase curve.  Deterministic (seeded). *)
+val sweep : ?quick:bool -> ?backend:Fluid.Backend.t -> unit -> point list
+(** The phase curve.  Deterministic (seeded).  [backend] (default
+    [Packet]) selects the simulation substrate: [Fluid] traces the same
+    adversary through the discretised fluid laws, [Hybrid] runs packet
+    windows around the t=0 start and t=1 jitter activation with fluid
+    in between. *)
 
-val run : ?quick:bool -> unit -> Report.row list
+val run : ?quick:bool -> ?backend:Fluid.Backend.t -> unit -> Report.row list
 (** Checks: the curve is near-fair at D << delta_max and unfair at
-    D >> 2 delta_max, i.e. it crosses the paper's boundary. *)
+    D >> 2 delta_max, i.e. it crosses the paper's boundary.  The same
+    acceptance shape must hold on every backend. *)
 
-val plan : quick:bool -> Runner.Job.t list * (bytes list -> Report.row list)
+val plan :
+  quick:bool ->
+  backend:Fluid.Backend.t ->
+  Runner.Job.t list * (bytes list -> Report.row list)
 (** One job per sweep point (each point is an independent simulation);
-    the merge reassembles the curve and yields the same rows as {!run}. *)
+    job keys embed the backend.  The merge reassembles the curve and
+    yields the same rows as {!run}. *)

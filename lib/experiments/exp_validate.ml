@@ -37,7 +37,25 @@ let conservation_scenario () =
   in
   Conservation.verdicts ~scenario:"mixed-cca-faulted" (Network.run_config cfg)
 
-let run ~quick () =
+(* V6: the fluid backend cross-validated against the packet simulator
+   (equilibrium ratio + standing queue inside the z=5 bands for
+   Reno/Copa/Vegas, fluid byte conservation) plus the hybrid seam
+   checks (chained conservation, min-RTT survival through the
+   threshold scenario). *)
+let fluid_family ~quick =
+  family ~id:"V6" ~label:"fluid backend vs packet + hybrid seams"
+    ~paper:"z=5 agreement bands; byte conservation across seams"
+    (Fluid_oracle.all ~quick ())
+
+let run ~quick ?(backend = Fluid.Backend.Packet) () =
+  match backend with
+  | Fluid.Backend.Fluid | Fluid.Backend.Hybrid ->
+      (* Under a non-packet backend the experiment *is* the
+         cross-validation: run the fluid/hybrid oracle families alone
+         (this is the CI backend-agreement entry point, so it must stay
+         cheap enough for the determinism job). *)
+      [ fluid_family ~quick ]
+  | Fluid.Backend.Packet ->
   let queueing_spec base =
     if quick then { base with Queueing.horizon = 90.; warmup = 10. } else base
   in
@@ -69,4 +87,5 @@ let run ~quick () =
     family ~id:"V4" ~label:"metamorphic properties (6-scenario matrix)"
       ~paper:"rescale exact; shift/permute/jitter bands" (Metamorphic.all ());
     fuzz_row;
+    fluid_family ~quick;
   ]

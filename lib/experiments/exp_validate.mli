@@ -1,8 +1,11 @@
 (** The [validate] experiment: every {!Validate} oracle family as one
     report table — analytic queueing baselines, conservation identities,
-    CCA equilibrium laws, metamorphic properties, and a fixed-seed fuzz
-    smoke batch.  Prints each individual verdict so a CI failure names
-    the oracle, scenario, expected/observed and tolerance without a
-    rerun. *)
+    CCA equilibrium laws, metamorphic properties, a fixed-seed fuzz
+    smoke batch, and the fluid-backend cross-validation (V6).  Prints
+    each individual verdict so a CI failure names the oracle, scenario,
+    expected/observed and tolerance without a rerun. *)
 
-val run : quick:bool -> unit -> Report.row list
+val run : quick:bool -> ?backend:Fluid.Backend.t -> unit -> Report.row list
+(** Under [Packet] (the default), all families V1-V6.  Under [Fluid] or
+    [Hybrid], only the V6 fluid/hybrid cross-validation family — the
+    cheap CI backend-agreement entry point. *)

@@ -6,36 +6,60 @@ type plan = {
 type experiment = {
   key : string;
   title : string;
-  plan : quick:bool -> plan;
+  plan : quick:bool -> backend:Fluid.Backend.t -> plan;
   run : quick:bool -> Report.row list;
 }
+
+let merge_solo key = function
+  | [ b ] -> (Runner.Job.decode b : Report.row list)
+  | payloads ->
+      invalid_arg
+        (Printf.sprintf "Registry: experiment %s expected 1 payload, got %d" key
+           (List.length payloads))
 
 (* Experiments that have not been decomposed into per-simulation jobs run
    as one job each: the whole [run] executes inside the job (its prints
    are captured and replayed by the pool) and the rows come back as the
-   payload. *)
+   payload.  A packet-only experiment ignores the simulation backend —
+   it is the same computation under any [--backend], so its cache key
+   stays backend-free and caches naturally across backend selections. *)
 let solo key run =
-  let plan ~quick =
+  let plan ~quick ~backend:_ =
     let job =
       Runner.Job.create
         ~key:(Printf.sprintf "%s/quick=%b" key quick)
         (fun () -> run ~quick)
     in
-    let merge = function
-      | [ b ] -> (Runner.Job.decode b : Report.row list)
-      | payloads ->
-          invalid_arg
-            (Printf.sprintf "Registry: experiment %s expected 1 payload, got %d"
-               key (List.length payloads))
+    { jobs = [ job ]; merge = merge_solo key }
+  in
+  plan
+
+(* Backend-aware solo experiments: the backend changes the computation,
+   so it must be part of the cache key — a cached packet run must never
+   satisfy a [--backend fluid] request. *)
+let solo_backend key run =
+  let plan ~quick ~backend =
+    let job =
+      Runner.Job.create
+        ~key:
+          (Printf.sprintf "%s/quick=%b/backend=%s" key quick
+             (Fluid.Backend.to_string backend))
+        (fun () -> run ~quick ~backend)
     in
-    { jobs = [ job ]; merge }
+    { jobs = [ job ]; merge = merge_solo key }
   in
   plan
 
 (* Experiments whose jobs carry raw measurements: the merge rebuilds the
    rows (and prints any experiment-specific tables) in the parent. *)
-let planned plan_fn ~quick =
+let planned plan_fn ~quick ~backend:_ =
   let jobs, merge = plan_fn ~quick in
+  { jobs; merge }
+
+(* As [planned], for experiments ported to the fluid/hybrid backends:
+   the planner receives the backend and embeds it in every job key. *)
+let planned_backend plan_fn ~quick ~backend =
+  let jobs, merge = plan_fn ~quick ~backend in
   { jobs; merge }
 
 let all =
@@ -78,7 +102,7 @@ let all =
       plan = solo "ecn" (fun ~quick -> Exp_ecn.run ~quick ()) };
     { key = "threshold"; title = "E14: starvation ratio vs jitter (the Theorem 1 boundary)";
       run = (fun ~quick -> Exp_threshold.run ~quick ());
-      plan = planned Exp_threshold.plan };
+      plan = planned_backend Exp_threshold.plan };
     { key = "isolation"; title = "E15: DRR isolation vs the shared FIFO (conclusion)";
       run = (fun ~quick -> Exp_isolation.run ~quick ());
       plan = solo "isolation" (fun ~quick -> Exp_isolation.run ~quick ()) };
@@ -93,10 +117,12 @@ let all =
       plan = planned Exp_faults.plan };
     { key = "census"; title = "E19: starvation census over a churning flow population";
       run = (fun ~quick -> Exp_census.run ~quick ());
-      plan = planned Exp_census.plan };
-    { key = "validate"; title = "V1-V5: validation oracles (queueing, conservation, equilibria, metamorphic, fuzz)";
+      plan = planned_backend Exp_census.plan };
+    { key = "validate"; title = "V1-V6: validation oracles (queueing, conservation, equilibria, metamorphic, fuzz, fluid backend)";
       run = (fun ~quick -> Exp_validate.run ~quick ());
-      plan = solo "validate" (fun ~quick -> Exp_validate.run ~quick ()) };
+      plan =
+        solo_backend "validate" (fun ~quick ~backend ->
+            Exp_validate.run ~quick ~backend ()) };
   ]
 
 (* Experiments reachable by key but kept out of [all]: [selftest-fail]
@@ -112,6 +138,22 @@ let hidden =
   ]
 
 let find key = List.find_opt (fun e -> e.key = key) (all @ hidden)
+let keys () = List.map (fun e -> e.key) all
+
+(* One place owns the "unknown key" contract: every CLI front end that
+   takes experiment names reports the same error, and the error names
+   what would have worked — a typo should cost one read, not a trip to
+   `list`. *)
+let select = function
+  | [] -> Ok all
+  | wanted ->
+      let missing = List.filter (fun k -> find k = None) wanted in
+      if missing <> [] then
+        Error
+          (Printf.sprintf "unknown experiment(s): %s\navailable: %s"
+             (String.concat ", " missing)
+             (String.concat ", " (keys ())))
+      else Ok (List.filter_map find wanted)
 
 let rec take_drop n = function
   | rest when n = 0 -> ([], rest)
@@ -120,9 +162,12 @@ let rec take_drop n = function
       let taken, left = take_drop (n - 1) rest in
       (x :: taken, left)
 
-let run_selection ?(quick = false) ?(backend = `Fork) ?(workers = 1) ?cache
-    ?timeout ?policy ?journal ?(allow_failures = false) experiments =
-  let plans = List.map (fun e -> (e, e.plan ~quick)) experiments in
+let run_selection ?(quick = false) ?(backend = `Fork)
+    ?(sim_backend = Fluid.Backend.Packet) ?(workers = 1) ?cache ?timeout
+    ?policy ?journal ?(allow_failures = false) experiments =
+  let plans =
+    List.map (fun e -> (e, e.plan ~quick ~backend:sim_backend)) experiments
+  in
   let jobs = List.concat_map (fun (_, p) -> p.jobs) plans in
   let results, stats =
     match (backend, policy, journal) with

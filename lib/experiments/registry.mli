@@ -22,7 +22,12 @@ type plan = {
 type experiment = {
   key : string;  (** CLI name, e.g. "copa" *)
   title : string;
-  plan : quick:bool -> plan;
+  plan : quick:bool -> backend:Fluid.Backend.t -> plan;
+      (** [backend] selects the simulation substrate.  Experiments with a
+          fluid/hybrid port embed it in their job keys (a cached packet
+          result must never satisfy a fluid request); packet-only
+          experiments ignore it and keep backend-free keys, so they cache
+          across backend selections. *)
   run : quick:bool -> Report.row list;
 }
 
@@ -33,9 +38,18 @@ val find : string -> experiment option
     job raises deliberately — the fixture behind the exit-code tests for
     quarantined jobs. *)
 
+val keys : unit -> string list
+(** The public experiment keys, in registry order. *)
+
+val select : string list -> (experiment list, string) result
+(** Resolve CLI experiment names ([[]] means all).  The error for an
+    unknown key names both the offending keys and every available one —
+    the single message all front ends print. *)
+
 val run_selection :
   ?quick:bool ->
   ?backend:Runner.Pool.backend ->
+  ?sim_backend:Fluid.Backend.t ->
   ?workers:int ->
   ?cache:Runner.Cache.t ->
   ?timeout:float ->
@@ -52,7 +66,9 @@ val run_selection :
     [backend] selects how [workers >= 2] are realized (see
     {!Runner.Pool.backend}); [`Domain] runs the plain unsupervised pool
     regardless of [policy]/[journal], since supervision is built on the
-    process boundary.
+    process boundary.  [sim_backend] (default [Packet]) is the simulation
+    substrate handed to each experiment's plan — the [repro --backend]
+    flag.
 
     Giving [policy] and/or [journal] routes the matrix through
     {!Runner.Supervise.run}: per-attempt deadlines and heap ceilings,

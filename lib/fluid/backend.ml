@@ -1,0 +1,18 @@
+type t = Packet | Fluid | Hybrid
+
+let all = [ Packet; Fluid; Hybrid ]
+
+let to_string = function
+  | Packet -> "packet"
+  | Fluid -> "fluid"
+  | Hybrid -> "hybrid"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "packet" -> Ok Packet
+  | "fluid" -> Ok Fluid
+  | "hybrid" -> Ok Hybrid
+  | other ->
+      Error
+        (Printf.sprintf "unknown backend %S (expected packet|fluid|hybrid)"
+           other)

@@ -1,0 +1,12 @@
+(** Simulation backend selector, threaded from [repro --backend] through
+    the experiment registry into each experiment's job plan.  Cache keys
+    must embed the backend (see DESIGN.md §14): the same experiment under
+    a different backend is a different computation. *)
+
+type t = Packet | Fluid | Hybrid
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** "packet" | "fluid" | "hybrid", case-insensitive; [Error] names the
+    accepted values. *)

@@ -999,6 +999,14 @@ let prop_copa_columnar_trace_equiv =
       let cols = Columns.create ~nfields:Copa.nfields () in
       drive_pair ~name:"copa" (Copa.make ()) (Copa.make_in cols).Cca.cca events)
 
+let prop_vegas_columnar_trace_equiv =
+  QCheck.Test.make ~name:"columnar Vegas is trace-equivalent to boxed"
+    ~count:80 fuzz_arb
+    (fun events ->
+      let cols = Columns.create ~nfields:Vegas.nfields () in
+      drive_pair ~name:"vegas" (Vegas.make ())
+        (Vegas.make_in cols).Cca.cca events)
+
 (* The churn contract: a reset columnar instance must be indistinguishable
    from a freshly built one even after an arbitrary first incarnation. *)
 let prop_columnar_reset_equals_fresh =
@@ -1020,6 +1028,9 @@ let prop_columnar_reset_equals_fresh =
           ( "copa",
             (fun () -> Copa.make ()),
             Copa.make_in (Columns.create ~nfields:Copa.nfields ()) );
+          ( "vegas",
+            (fun () -> Vegas.make ()),
+            Vegas.make_in (Columns.create ~nfields:Vegas.nfields ()) );
         ])
 
 let () =
@@ -1141,6 +1152,7 @@ let () =
           Alcotest.test_case "arena recycling" `Quick test_columns_recycling;
           qt prop_reno_columnar_trace_equiv;
           qt prop_copa_columnar_trace_equiv;
+          qt prop_vegas_columnar_trace_equiv;
           qt prop_columnar_reset_equals_fresh;
         ] );
       ("fuzz", [ qt prop_cca_fuzz ]);

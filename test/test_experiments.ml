@@ -55,6 +55,85 @@ let test_registry_find () =
   Alcotest.(check bool) "find nonsense" true
     (Experiments.Registry.find "nonsense" = None)
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_registry_select () =
+  (match Experiments.Registry.select [] with
+  | Ok es ->
+      Alcotest.(check int) "empty selection = all"
+        (List.length Experiments.Registry.all)
+        (List.length es)
+  | Error e -> Alcotest.failf "empty selection rejected: %s" e);
+  (match Experiments.Registry.select [ "copa"; "census" ] with
+  | Ok es ->
+      Alcotest.(check (list string)) "subset in request order"
+        [ "copa"; "census" ]
+        (List.map (fun e -> e.Experiments.Registry.key) es)
+  | Error e -> Alcotest.failf "valid subset rejected: %s" e);
+  match Experiments.Registry.select [ "copa"; "badkey" ] with
+  | Ok _ -> Alcotest.fail "unknown key accepted"
+  | Error msg ->
+      Alcotest.(check bool) "names the offender" true (contains msg "badkey");
+      Alcotest.(check bool) "advertises alternatives" true
+        (contains msg "available:");
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) ("error lists " ^ k) true (contains msg k))
+        (Experiments.Registry.keys ())
+
+let test_registry_keys_round_trip_plan () =
+  (* Every advertised key must resolve through [select] and produce a
+     non-empty job plan under every backend — the contract `repro list`
+     relies on. *)
+  List.iter
+    (fun key ->
+      match Experiments.Registry.select [ key ] with
+      | Error e -> Alcotest.failf "%s does not select: %s" key e
+      | Ok [ e ] ->
+          List.iter
+            (fun backend ->
+              let p = e.Experiments.Registry.plan ~quick:true ~backend in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s plans jobs under %s" key
+                   (Fluid.Backend.to_string backend))
+                true
+                (p.Experiments.Registry.jobs <> []))
+            Fluid.Backend.all
+      | Ok es ->
+          Alcotest.failf "%s selected %d experiments" key (List.length es))
+    (Experiments.Registry.keys ())
+
+(* `repro list` must advertise exactly the registry: exercised against
+   the real driver binary, same pattern as the exit-code tests in
+   test_runner. *)
+let repro_exe = "../bin/repro.exe"
+
+let test_repro_list_smoke () =
+  if not (Sys.file_exists repro_exe) then ()
+  else begin
+    let out_file = Filename.temp_file "repro_list" ".out" in
+    let status =
+      Sys.command
+        (Printf.sprintf "%s list >%s 2>/dev/null" repro_exe
+           (Filename.quote out_file))
+    in
+    let ic = open_in out_file in
+    let n = in_channel_length ic in
+    let out = really_input_string ic n in
+    close_in ic;
+    Sys.remove out_file;
+    Alcotest.(check int) "exit 0" 0 status;
+    let lines =
+      List.filter (fun l -> l <> "") (String.split_on_char '\n' out)
+    in
+    Alcotest.(check (list string)) "one key per line, registry order"
+      (Experiments.Registry.keys ())
+      lines
+  end
+
 let test_merit_rows () =
   let rows = Experiments.Exp_alg1.merit_rows () in
   Alcotest.(check int) "3 jitters x 3 s" 9 (List.length rows)
@@ -206,6 +285,10 @@ let () =
         [
           Alcotest.test_case "complete" `Quick test_registry_complete;
           Alcotest.test_case "find" `Quick test_registry_find;
+          Alcotest.test_case "select" `Quick test_registry_select;
+          Alcotest.test_case "keys round-trip plan" `Quick
+            test_registry_keys_round_trip_plan;
+          Alcotest.test_case "repro list" `Quick test_repro_list_smoke;
         ] );
       ( "static",
         [

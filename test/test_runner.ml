@@ -554,10 +554,20 @@ let test_repro_allow_failures_downgrades () =
 (* Registry plans                                                      *)
 (* ------------------------------------------------------------------ *)
 
+let plan_keys ~quick ~backend =
+  List.concat_map
+    (fun e ->
+      List.map Runner.Job.key
+        (e.Experiments.Registry.plan ~quick ~backend).Experiments.Registry.jobs)
+    Experiments.Registry.all
+
 let test_registry_plans_cover_all () =
   List.iter
     (fun e ->
-      let p = e.Experiments.Registry.plan ~quick:true in
+      let p =
+        e.Experiments.Registry.plan ~quick:true
+          ~backend:Fluid.Backend.Packet
+      in
       Alcotest.(check bool)
         (e.Experiments.Registry.key ^ " has jobs")
         true
@@ -565,30 +575,53 @@ let test_registry_plans_cover_all () =
     Experiments.Registry.all
 
 let test_registry_job_keys_unique () =
-  let keys =
-    List.concat_map
-      (fun e ->
-        List.map Runner.Job.key
-          (e.Experiments.Registry.plan ~quick:true).Experiments.Registry.jobs)
-      Experiments.Registry.all
-  in
+  let keys = plan_keys ~quick:true ~backend:Fluid.Backend.Packet in
   let distinct = List.sort_uniq String.compare keys in
   Alcotest.(check int) "keys globally unique" (List.length keys)
     (List.length distinct);
   (* Quick and full plans must not collide either: a quick result must
      never satisfy a full-mode lookup. *)
-  let full_keys =
-    List.concat_map
-      (fun e ->
-        List.map Runner.Job.key
-          (e.Experiments.Registry.plan ~quick:false).Experiments.Registry.jobs)
-      Experiments.Registry.all
-  in
+  let full_keys = plan_keys ~quick:false ~backend:Fluid.Backend.Packet in
   List.iter
     (fun k ->
       Alcotest.(check bool) (k ^ " not shared with full mode") false
         (List.mem k full_keys))
     keys
+
+(* The backend cache-key discipline: a backend-aware experiment's fluid
+   jobs must never share a key with its packet jobs (a cached packet
+   result satisfying a --backend fluid request would silently void the
+   cross-validation), while packet-only experiments keep backend-free
+   keys so their results cache across backend selections. *)
+let test_registry_backend_keys_disjoint () =
+  let packet = plan_keys ~quick:true ~backend:Fluid.Backend.Packet in
+  List.iter
+    (fun backend ->
+      let keys = plan_keys ~quick:true ~backend in
+      let tag = "/backend=" ^ Fluid.Backend.to_string backend in
+      let aware, agnostic =
+        List.partition
+          (fun k ->
+            let lk = String.length k and lt = String.length tag in
+            lk >= lt && String.sub k (lk - lt) lt = tag)
+          keys
+      in
+      Alcotest.(check bool)
+        (Fluid.Backend.to_string backend ^ " has backend-aware jobs")
+        true (aware <> []);
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " disjoint from packet keys") false
+            (List.mem k packet))
+        aware;
+      (* Everything else is the same computation under any backend and
+         must reuse the packet key verbatim. *)
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " cached across backends") true
+            (List.mem k packet))
+        agnostic)
+    [ Fluid.Backend.Fluid; Fluid.Backend.Hybrid ]
 
 let () =
   Alcotest.run "runner"
@@ -649,6 +682,8 @@ let () =
           Alcotest.test_case "plans cover all experiments" `Quick
             test_registry_plans_cover_all;
           Alcotest.test_case "job keys unique" `Quick test_registry_job_keys_unique;
+          Alcotest.test_case "backend keys disjoint" `Quick
+            test_registry_backend_keys_disjoint;
         ] );
       ( "repro-exit-codes",
         [

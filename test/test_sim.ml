@@ -2270,6 +2270,41 @@ let prop_ratio_summary_in_place_matches =
       in
       same got expect && same via_copy expect)
 
+(* Degenerate inputs exercised directly against the in-place variant:
+   the qcheck oracle above covers the bulk distribution, but the edge
+   cases (empty, singleton, all-equal, all-starved, rejects) deserve
+   named assertions that fail individually. *)
+let test_ratio_summary_in_place_degenerate () =
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty raises" true
+    (raises (fun () -> Sim.Stats.ratio_summary_in_place [||]));
+  let single = Sim.Stats.ratio_summary_in_place [| 3.5 |] in
+  Alcotest.(check int) "single total" 1 single.Sim.Stats.total;
+  Alcotest.(check int) "single starved" 0 single.Sim.Stats.starved;
+  check_float "single p50" 1. single.Sim.Stats.p50;
+  check_float "single p99" 1. single.Sim.Stats.p99;
+  check_float "single max" 1. single.Sim.Stats.max_ratio;
+  let equal = Sim.Stats.ratio_summary_in_place (Array.make 17 2.25) in
+  Alcotest.(check int) "all-equal starved" 0 equal.Sim.Stats.starved;
+  check_float "all-equal p50" 1. equal.Sim.Stats.p50;
+  check_float "all-equal p99" 1. equal.Sim.Stats.p99;
+  check_float "all-equal max" 1. equal.Sim.Stats.max_ratio;
+  let dead = Sim.Stats.ratio_summary_in_place [| 0.; 0.; 0. |] in
+  Alcotest.(check int) "all-starved count" 3 dead.Sim.Stats.starved;
+  check_float "all-starved quantiles zeroed" 0. dead.Sim.Stats.p99;
+  check_float "all-starved max zeroed" 0. dead.Sim.Stats.max_ratio;
+  Alcotest.(check bool) "nan raises" true
+    (raises (fun () -> Sim.Stats.ratio_summary_in_place [| 1.; nan |]));
+  Alcotest.(check bool) "negative raises" true
+    (raises (fun () -> Sim.Stats.ratio_summary_in_place [| -1. |]));
+  Alcotest.(check bool) "infinite raises" true
+    (raises (fun () -> Sim.Stats.ratio_summary_in_place [| 1.; infinity |]))
+
 (* ------------------------------------------------------------------ *)
 (* Timer-wheel lazy allocation                                         *)
 (* ------------------------------------------------------------------ *)
@@ -2497,6 +2532,8 @@ let () =
           Alcotest.test_case "ratio summary" `Quick test_ratio_summary;
           Alcotest.test_case "ratio summary rejects" `Quick
             test_ratio_summary_rejects;
+          Alcotest.test_case "ratio summary in place degenerate" `Quick
+            test_ratio_summary_in_place_degenerate;
           qt prop_jain_bounds;
           qt prop_online_matches_batch_mean;
           qt prop_ratio_summary_finite;
